@@ -1,0 +1,348 @@
+package qint
+
+// One benchmark per table and figure of the paper's §5 evaluation, wrapping
+// the harnesses in internal/eval, plus ablation benchmarks for the design
+// choices called out in DESIGN.md. Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-experiment rows are printed once per benchmark via b.Logf (run
+// with -v to see them), and cmd/qbench prints the same tables standalone.
+
+import (
+	"fmt"
+	"testing"
+
+	"qint/internal/core"
+	"qint/internal/datasets"
+	"qint/internal/eval"
+	"qint/internal/matcher/mad"
+	"qint/internal/matcher/meta"
+	"qint/internal/relstore"
+	"qint/internal/steiner"
+)
+
+func BenchmarkFig6AlignmentTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.RunFig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("Fig6 %-22s mean=%v", r.Strategy, r.MeanTime)
+			}
+		}
+	}
+}
+
+func BenchmarkFig7AttrComparisons(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.RunFig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("Fig7 %-22s nofilter=%.1f overlap=%.1f", r.Strategy, r.NoFilter, r.WithFilter)
+			}
+		}
+	}
+}
+
+func BenchmarkFig8Scaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.RunFig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("Fig8 sources=%d ex=%.1f vb=%.1f pf=%.1f",
+					r.Sources, r.Exhaustive, r.ViewBased, r.Preferential)
+			}
+		}
+	}
+}
+
+func BenchmarkTable1MatcherQuality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.RunTable1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("Table1 Y=%d %-20s P=%.2f R=%.2f F=%.2f",
+					r.Y, r.System, r.Precision, r.Recall, r.F1)
+			}
+		}
+	}
+}
+
+func logCurves(b *testing.B, tag string, curves []eval.Curve) {
+	b.Helper()
+	for _, c := range curves {
+		last := eval.PRPoint{}
+		if len(c.Points) > 0 {
+			last = c.Points[len(c.Points)-1]
+		}
+		p100, _ := c.MaxPrecisionAtRecall(100)
+		b.Logf("%s %-24s points=%d final=(R=%.1f,P=%.1f) P@100=%.1f",
+			tag, c.Name, len(c.Points), last.Recall, last.Precision, p100)
+	}
+}
+
+func BenchmarkFig10Learning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		curves, err := eval.RunFig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logCurves(b, "Fig10", curves)
+		}
+	}
+}
+
+func BenchmarkFig11FeedbackLevels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		curves, err := eval.RunFig11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logCurves(b, "Fig11", curves)
+		}
+	}
+}
+
+func BenchmarkFig12EdgeCosts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.RunFig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && len(rows) > 0 {
+			first, last := rows[0], rows[len(rows)-1]
+			b.Logf("Fig12 step1 gold=%.3f nongold=%.3f | step%d gold=%.3f nongold=%.3f",
+				first.GoldAvg, first.NonGoldAvg, last.Step, last.GoldAvg, last.NonGoldAvg)
+		}
+	}
+}
+
+func BenchmarkTable2FeedbackSteps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.RunTable2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("Table2 recall=%.1f steps=%d", r.RecallLevel, r.Steps)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationBinning compares binned confidence features against raw
+// real-valued ones across the full 10×4 feedback run (DESIGN.md §6).
+func BenchmarkAblationBinning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.RunAblationBinning()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("Ablation %-20s gold=%.3f nongold=%.3f P@87.5=%.1f",
+					r.Mode, r.GoldAvg, r.NonGoldAvg, r.PrecisionAtHighRecall)
+			}
+		}
+	}
+}
+
+// --- Ablation and micro benchmarks -----------------------------------------
+
+// benchGraph builds a moderately sized random search graph for Steiner
+// ablations.
+func benchGraph(n int) (*steiner.Graph, []steiner.NodeID) {
+	g := steiner.NewGraph()
+	for i := 0; i < n; i++ {
+		g.AddNode()
+	}
+	for i := 1; i < n; i++ {
+		g.AddEdge(steiner.NodeID((i*7919)%i), steiner.NodeID(i), 0.5+float64(i%7)/7)
+	}
+	for i := 0; i < 2*n; i++ {
+		u := steiner.NodeID((i * 104729) % n)
+		v := steiner.NodeID((i*15485863 + 1) % n)
+		if u != v {
+			g.AddEdge(u, v, 0.5+float64(i%5)/5)
+		}
+	}
+	terms := []steiner.NodeID{0, steiner.NodeID(n / 2), steiner.NodeID(n - 1)}
+	return g, terms
+}
+
+// BenchmarkAblationSteinerExact and ...Approx compare the exact DPBF top-k
+// algorithm against the BANKS-style approximation (DESIGN.md §5: the
+// exact/approx crossover).
+func BenchmarkAblationSteinerExact(b *testing.B) {
+	g, terms := benchGraph(300)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if trees := g.TopKSteiner(terms, 5); len(trees) == 0 {
+			b.Fatal("no trees")
+		}
+	}
+}
+
+func BenchmarkAblationSteinerApprox(b *testing.B) {
+	g, terms := benchGraph(300)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if trees := g.ApproxTopKSteiner(terms, 5); len(trees) == 0 {
+			b.Fatal("no trees")
+		}
+	}
+}
+
+// BenchmarkAblationMADIterations measures MAD propagation cost as the
+// iteration budget grows (the paper runs 3 iterations).
+func BenchmarkAblationMADIterations(b *testing.B) {
+	corpus := datasets.InterProGO()
+	cat := relstore.NewCatalog()
+	for _, t := range corpus.Tables {
+		if err := cat.AddTable(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, iters := range []int{1, 3, 10} {
+		b.Run(fmt.Sprintf("iters=%d", iters), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := mad.New()
+				m.Params.Iterations = iters
+				rels := cat.Relations()
+				if got := m.Match(cat, rels[0], rels[1]); got == nil {
+					b.Fatal("no alignments")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKeywordQuery measures the end-to-end cost of one keyword query
+// over the InterPro-GO graph with associations installed.
+func BenchmarkKeywordQuery(b *testing.B) {
+	corpus := datasets.InterProGO()
+	q := core.New(core.DefaultOptions())
+	q.AddMatcher(meta.New())
+	q.AddMatcher(mad.New())
+	if err := q.AddTables(corpus.Tables...); err != nil {
+		b.Fatal(err)
+	}
+	q.AlignAllPairs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := q.Query(corpus.Queries[i%len(corpus.Queries)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		q.DropView(v)
+	}
+}
+
+// BenchmarkRegisterSource measures one new-source registration under each
+// strategy against the GBCO corpus.
+func BenchmarkRegisterSource(b *testing.B) {
+	corpus := datasets.GBCO()
+	newTable := func() *relstore.Table {
+		rel := &relstore.Relation{Source: "bench", Name: "data",
+			Attributes: []relstore.Attribute{{Name: "pubmed_id"}, {Name: "label"}}}
+		t, err := relstore.NewTable(rel, [][]string{{"PUB00001", "x"}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return t
+	}
+	for _, strat := range []core.AlignStrategy{core.Exhaustive, core.ViewBased, core.Preferential} {
+		b.Run(strat.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				q := core.New(core.DefaultOptions())
+				q.AddMatcher(meta.New())
+				if err := q.AddTables(corpus.Tables...); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := q.Query(corpus.Trials[0].Keywords); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := q.RegisterSource([]*relstore.Table{newTable()}, strat); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConjunctiveQueryExec measures the relational executor on a
+// three-way join over GBCO.
+func BenchmarkConjunctiveQueryExec(b *testing.B) {
+	corpus := datasets.GBCO()
+	cat := relstore.NewCatalog()
+	for _, t := range corpus.Tables {
+		if err := cat.AddTable(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q := &relstore.ConjunctiveQuery{
+		Atoms: []relstore.Atom{
+			{Relation: "gene.gene", Alias: "g"},
+			{Relation: "transcript.transcript", Alias: "t"},
+			{Relation: "protein.protein", Alias: "p"},
+		},
+		Joins: []relstore.JoinCond{
+			{LeftAlias: "g", LeftAttr: "gene_id", RightAlias: "t", RightAttr: "gene_id"},
+			{LeftAlias: "t", LeftAttr: "transcript_id", RightAlias: "p", RightAttr: "transcript_id"},
+		},
+		Project: []relstore.ProjCol{
+			{Alias: "g", Attr: "symbol", As: "symbol"},
+			{Alias: "p", Attr: "uniprot_ac", As: "uniprot_ac"},
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := relstore.Execute(cat, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rs.Rows) == 0 {
+			b.Fatal("empty join")
+		}
+	}
+}
+
+// BenchmarkMADLargeGraph runs MAD propagation on a corpus scaled toward the
+// paper's 87K-node propagation graph (§5.2.1 reports ≈4 s for 3 iterations
+// on 2008 hardware).
+func BenchmarkMADLargeGraph(b *testing.B) {
+	corpus := datasets.InterProGOScaled(50)
+	cat := relstore.NewCatalog()
+	for _, t := range corpus.Tables {
+		if err := cat.AddTable(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	attrs, vals := mad.GraphSize(cat)
+	b.Logf("MAD graph: %d attribute nodes, %d value nodes", attrs, vals)
+	rels := cat.Relations()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := mad.New()
+		if got := m.Match(cat, rels[0], rels[1]); len(got) == 0 {
+			b.Fatal("no alignments at scale")
+		}
+	}
+}

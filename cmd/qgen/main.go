@@ -1,0 +1,87 @@
+// Command qgen dumps the bundled evaluation corpora as JSON, for inspection
+// or for loading into other tools.
+//
+//	qgen -dataset interprogo > interprogo.json
+//	qgen -dataset gbco -rows 5
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"qint/internal/datasets"
+	"qint/internal/relstore"
+)
+
+type dumpTable struct {
+	Source      string                `json:"source"`
+	Name        string                `json:"name"`
+	Attributes  []string              `json:"attributes"`
+	ForeignKeys []relstore.ForeignKey `json:"foreign_keys,omitempty"`
+	RowCount    int                   `json:"row_count"`
+	Rows        [][]string            `json:"rows,omitempty"`
+}
+
+type dump struct {
+	Dataset string           `json:"dataset"`
+	Tables  []dumpTable      `json:"tables"`
+	Gold    []string         `json:"gold_edges,omitempty"`
+	Queries []string         `json:"queries,omitempty"`
+	Trials  []datasets.Trial `json:"trials,omitempty"`
+}
+
+func main() {
+	dataset := flag.String("dataset", "interprogo", "corpus to dump: interprogo or gbco")
+	rows := flag.Int("rows", 0, "max data rows per table to include (0 = schema only)")
+	flag.Parse()
+
+	var d dump
+	d.Dataset = *dataset
+	switch *dataset {
+	case "interprogo":
+		c := datasets.InterProGO()
+		d.Tables = convert(c.Tables, *rows)
+		for g := range c.Gold {
+			d.Gold = append(d.Gold, g)
+		}
+		d.Queries = c.Queries
+	case "gbco":
+		c := datasets.GBCO()
+		d.Tables = convert(c.Tables, *rows)
+		d.Trials = c.Trials
+	default:
+		fmt.Fprintf(os.Stderr, "qgen: unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		fmt.Fprintln(os.Stderr, "qgen:", err)
+		os.Exit(1)
+	}
+}
+
+func convert(tables []*relstore.Table, maxRows int) []dumpTable {
+	out := make([]dumpTable, len(tables))
+	for i, t := range tables {
+		dt := dumpTable{
+			Source:      t.Relation.Source,
+			Name:        t.Relation.Name,
+			Attributes:  t.Relation.AttrNames(),
+			ForeignKeys: t.Relation.ForeignKeys,
+			RowCount:    len(t.Rows),
+		}
+		if maxRows > 0 {
+			n := maxRows
+			if n > len(t.Rows) {
+				n = len(t.Rows)
+			}
+			dt.Rows = t.Rows[:n]
+		}
+		out[i] = dt
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+// Command qserver runs Q as a long-lived HTTP service: the registration
+// service of paper §3 plus keyword querying and feedback. It starts with
+// one of the bundled corpora (or empty) and accepts new sources, queries
+// and feedback over JSON.
+//
+//	qserver -addr :8080 -dataset interprogo
+//
+//	curl -X POST localhost:8080/query -d '{"q":"'"'"'GO:0001000'"'"' '"'"'fam_0'"'"'"}'
+//	curl localhost:8080/views
+//	curl -X POST localhost:8080/sources -d @newsource.json
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"qint/internal/core"
+	"qint/internal/datasets"
+	"qint/internal/matcher/mad"
+	"qint/internal/matcher/meta"
+	"qint/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dataset := flag.String("dataset", "interprogo", "initial corpus: interprogo, gbco or empty")
+	flag.Parse()
+
+	q := core.New(core.DefaultOptions())
+	q.AddMatcher(meta.New())
+	q.AddMatcher(mad.New())
+
+	switch *dataset {
+	case "interprogo":
+		c := datasets.InterProGO()
+		if err := q.AddTables(c.Tables...); err != nil {
+			log.Fatal(err)
+		}
+		q.AlignAllPairs()
+		log.Printf("loaded InterPro-GO (%d relations, %d attributes)",
+			q.Catalog.NumRelations(), q.Catalog.NumAttributes())
+	case "gbco":
+		c := datasets.GBCO()
+		if err := q.AddTables(c.Tables...); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded GBCO (%d relations, %d attributes)",
+			q.Catalog.NumRelations(), q.Catalog.NumAttributes())
+	case "empty":
+		log.Printf("starting with an empty catalog; POST /sources to register data")
+	default:
+		log.Fatalf("unknown dataset %q", *dataset)
+	}
+
+	log.Printf("Q registration service listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, server.New(q)))
+}

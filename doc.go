@@ -1,0 +1,9 @@
+// Package qint is a from-scratch Go reproduction of the Q data-integration
+// system of Talukdar, Ives & Pereira, "Automatically Incorporating New
+// Sources in Keyword Search-Based Data Integration" (SIGMOD 2010).
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); cmd/ holds the executables and examples/ the runnable usage
+// examples. The benchmarks in bench_test.go regenerate every table and
+// figure of the paper's evaluation.
+package qint

@@ -1,0 +1,298 @@
+// Package core is Q itself — the keyword search-based data integration
+// system of Talukdar, Ives & Pereira (SIGMOD 2010). It wires the substrates
+// together: the relational catalog, the search graph, the pluggable schema
+// matchers, the Steiner-tree view constructor, the source-registration
+// aligners (EXHAUSTIVE, VIEWBASEDALIGNER, PREFERENTIALALIGNER) and the
+// MIRA-based association-cost learner driven by feedback on query answers.
+//
+// Lifecycle (Figure 1 of the paper):
+//
+//	q := core.New(core.DefaultOptions())
+//	q.AddMatcher(meta.New())
+//	q.AddMatcher(mad.New())
+//	q.AddTables(tables...)          // initial sources
+//	view, _ := q.Query("GO term name 'plasma membrane' publication titles")
+//	...
+//	q.RegisterSource(newTables, core.ViewBased)   // search graph maintenance
+//	q.FeedbackFavor(view, goodAnswerRow)          // association cost learning
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"qint/internal/learning"
+	"qint/internal/matcher"
+	"qint/internal/relstore"
+	"qint/internal/searchgraph"
+	"qint/internal/text"
+)
+
+// Options tune Q's behaviour. Zero values fall back to DefaultOptions.
+type Options struct {
+	// K is the number of top-scoring queries kept per view.
+	K int
+	// TopY is how many candidate alignments per attribute each matcher
+	// contributes to the search graph (paper §3.2.3, typically 2 or 3).
+	TopY int
+	// MatchThreshold is the minimum keyword similarity for a keyword edge.
+	MatchThreshold float64
+	// MaxMatchesPerKeyword bounds how many nodes one keyword links to.
+	MaxMatchesPerKeyword int
+	// ColumnAlignThreshold is the cost threshold t under which an
+	// association edge merges two output columns in the unioned view
+	// (paper §2.2).
+	ColumnAlignThreshold float64
+	// AssocCostThreshold prunes association edges from query answering when
+	// their cost exceeds it (the pruning threshold swept in Figure 10).
+	// Zero means no pruning.
+	AssocCostThreshold float64
+	// UseApproxSteiner switches view construction to the BANKS-style
+	// approximation (for large graphs).
+	UseApproxSteiner bool
+	// PreferentialBudget is how many top-prior relations the
+	// PREFERENTIALALIGNER strategy compares a new source against.
+	PreferentialBudget int
+	// ValueOverlapFilter restricts attribute comparisons to pairs with at
+	// least one shared value (the content-index variant of Figure 7).
+	ValueOverlapFilter bool
+	// RawConfidences disables the confidence binning of §4 and feeds each
+	// matcher's real-valued confidence directly into the edge features (as
+	// a mismatch value, 1 − confidence). The paper warns this destabilises
+	// MIRA ("using real-valued features directly in the algorithm can
+	// cause poor learning"); the ablation benchmark quantifies it.
+	RawConfidences bool
+}
+
+// DefaultOptions returns the settings used throughout the paper's
+// experiments: k=5, Y=2.
+func DefaultOptions() Options {
+	return Options{
+		K:                    5,
+		TopY:                 2,
+		MatchThreshold:       0.30,
+		MaxMatchesPerKeyword: 8,
+		ColumnAlignThreshold: 2.0,
+		AssocCostThreshold:   0,
+		PreferentialBudget:   3,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.K <= 0 {
+		o.K = d.K
+	}
+	if o.TopY <= 0 {
+		o.TopY = d.TopY
+	}
+	if o.MatchThreshold <= 0 {
+		o.MatchThreshold = d.MatchThreshold
+	}
+	if o.MaxMatchesPerKeyword <= 0 {
+		o.MaxMatchesPerKeyword = d.MaxMatchesPerKeyword
+	}
+	if o.ColumnAlignThreshold <= 0 {
+		o.ColumnAlignThreshold = d.ColumnAlignThreshold
+	}
+	if o.PreferentialBudget <= 0 {
+		o.PreferentialBudget = d.PreferentialBudget
+	}
+	return o
+}
+
+// Stats counts the alignment work done during source registration; the
+// Figure 6–8 experiments read these counters.
+type Stats struct {
+	// BaseMatcherCalls counts relation-pair matcher invocations (the
+	// BASEMATCHER calls of Algorithms 2–3).
+	BaseMatcherCalls int
+	// AttrComparisons counts pairwise attribute comparisons performed,
+	// honouring the value-overlap filter when enabled.
+	AttrComparisons int
+	// ColumnComparisonsUnfiltered counts comparisons as if no filter were
+	// available (the "No Additional Filter" accounting of Figure 7).
+	ColumnComparisonsUnfiltered int
+}
+
+// Reset zeroes the counters.
+func (s *Stats) Reset() { *s = Stats{} }
+
+// Q is the integration system. It is not safe for concurrent use; callers
+// serialise queries, registrations and feedback (as the single-user-view
+// model of the paper assumes).
+type Q struct {
+	Catalog *relstore.Catalog
+	Graph   *searchgraph.Graph
+	Stats   Stats
+
+	opts     Options
+	matchers []matcher.Matcher
+	binner   learning.Binner
+	mira     *learning.MIRA
+	corpus   *text.Corpus
+
+	views []*View
+
+	// expanded tracks, per keyword, which target nodes already have a
+	// keyword edge, so re-expansion after registration only adds new links.
+	expanded map[string]map[string]bool
+
+	// invalidators are called when the catalog grows (matcher caches).
+	invalidators []func()
+}
+
+// New constructs an empty Q system with the given options and the default
+// initial weight vector.
+func New(opts Options) *Q {
+	o := opts.withDefaults()
+	return &Q{
+		Catalog:  relstore.NewCatalog(),
+		Graph:    searchgraph.New(DefaultWeights()),
+		opts:     o,
+		binner:   learning.DefaultBinner(),
+		mira:     learning.NewMIRA(),
+		corpus:   text.NewCorpus(),
+		expanded: make(map[string]map[string]bool),
+	}
+}
+
+// Options returns the effective options.
+func (q *Q) Options() Options { return q.opts }
+
+// DefaultWeights is the initial weight vector: every learnable edge pays a
+// small default cost; foreign keys carry the default FK cost c_d; keyword
+// edges pay a base cost plus a mismatch penalty scaled by (1 − similarity);
+// matcher-confidence bins are installed by AddMatcher.
+func DefaultWeights() learning.Vector {
+	return learning.Vector{
+		"default":  0.10,
+		"fk":       0.90,
+		"kw":       0.20,
+		"mismatch": 1.00,
+	}
+}
+
+// AddMatcher registers a schema matcher and installs default weights for
+// its confidence-bin features and its "absent" marker. Higher-confidence
+// bins cost less, and an edge a matcher did NOT endorse pays the absent
+// penalty — so agreement between matchers lowers an association's initial
+// cost rather than stacking endorsement costs. Register all matchers
+// before running alignments so absent markers are complete. An invalidate
+// function, if the matcher exposes one, is called when the catalog grows.
+func (q *Q) AddMatcher(m matcher.Matcher) {
+	q.matchers = append(q.matchers, m)
+	w := q.Graph.Weights().Clone()
+	for bin := 0; bin < q.binner.NumBins(); bin++ {
+		feat := fmt.Sprintf("matcher:%s:bin%d", m.Name(), bin)
+		if _, ok := w[feat]; !ok {
+			// bin0 (confidence <0.2) → 1.2 down to bin4 (≥0.8) → 0.2
+			w[feat] = 1.2 - 0.25*float64(bin)
+		}
+	}
+	if absent := "matcher:" + m.Name() + ":absent"; w[absent] == 0 {
+		w[absent] = 0.85
+	}
+	if raw := "matcher:" + m.Name() + ":rawmismatch"; w[raw] == 0 {
+		w[raw] = 1.0 // only used in RawConfidences ablation mode
+	}
+	q.Graph.SetWeights(w)
+	if inv, ok := m.(interface{ Invalidate() }); ok {
+		q.invalidators = append(q.invalidators, inv.Invalidate)
+	}
+}
+
+// Matchers returns the registered matchers in registration order.
+func (q *Q) Matchers() []matcher.Matcher { return q.matchers }
+
+// AddTables registers the initial data sources (before any maintenance):
+// tables enter the catalog, the search graph grows relation/attribute/FK
+// nodes and edges, and schema labels are indexed for keyword matching. No
+// alignment runs — initial sources are assumed interlinked by declared
+// foreign keys (paper §2.1).
+func (q *Q) AddTables(tables ...*relstore.Table) error {
+	for _, t := range tables {
+		if err := q.Catalog.AddTable(t); err != nil {
+			return err
+		}
+	}
+	sources := make(map[string]struct{})
+	for _, t := range tables {
+		sources[t.Relation.Source] = struct{}{}
+	}
+	for s := range sources {
+		q.Graph.AddSource(q.Catalog, s)
+	}
+	for _, t := range tables {
+		q.indexRelation(t.Relation)
+	}
+	for _, inv := range q.invalidators {
+		inv()
+	}
+	return nil
+}
+
+// indexRelation adds a relation's schema labels to the keyword corpus.
+func (q *Q) indexRelation(rel *relstore.Relation) {
+	qn := rel.QualifiedName()
+	q.corpus.Add("rel:"+qn, rel.Name)
+	for _, a := range rel.Attributes {
+		ref := relstore.AttrRef{Relation: qn, Attr: a.Name}
+		q.corpus.Add("attr:"+ref.String(), a.Name)
+	}
+}
+
+// Views returns the persistent views in creation order.
+func (q *Q) Views() []*View { return q.views }
+
+// DropView removes a view from the maintenance set; its keyword and value
+// nodes remain in the search graph (topology is append-only) but the view no
+// longer participates in refreshes or VIEWBASEDALIGNER neighbourhoods.
+func (q *Q) DropView(v *View) {
+	for i, x := range q.views {
+		if x == v {
+			q.views = append(q.views[:i], q.views[i+1:]...)
+			return
+		}
+	}
+}
+
+// AddHandCodedAssociation inserts an association edge supplied by a human
+// (or a bootstrap script) rather than a matcher, at high confidence — the
+// "hand-coded schema alignments" of paper §2.1.
+func (q *Q) AddHandCodedAssociation(a, b relstore.AttrRef) {
+	q.Graph.AddAssociationEdge(a, b, learning.Vector{"handcoded": 1})
+}
+
+// parseKeywords splits a query string into keywords, honouring single
+// quotes for multi-word phrases ('plasma membrane').
+func parseKeywords(query string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range query {
+		switch {
+		case r == '\'':
+			if inQuote {
+				flush()
+			}
+			inQuote = !inQuote
+		case r == ' ' || r == '\t' || r == '\n':
+			if inQuote {
+				cur.WriteRune(r)
+			} else {
+				flush()
+			}
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return out
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"qint/internal/searchgraph"
+	"qint/internal/steiner"
+)
+
+// Explanation is the provenance of one view answer (paper §2.2: answers are
+// "annotated with provenance information about their originating queries"):
+// the Steiner tree that produced it, the generated SQL, and the association
+// and foreign-key edges the join relied on — the alignments a user is
+// implicitly judging when marking the answer good or bad.
+type Explanation struct {
+	// Tree is the originating query tree.
+	Tree steiner.Tree
+	// SQL is the conjunctive query's SQL rendering.
+	SQL string
+	// Cost is the answer's ranking cost.
+	Cost float64
+	// Joins describes each join edge used: "a ~ b (association, cost c)".
+	Joins []string
+	// Keywords describes each keyword match used.
+	Keywords []string
+}
+
+// Explain returns the provenance of the view answer at rowIdx.
+func (q *Q) Explain(v *View, rowIdx int) (*Explanation, error) {
+	if v.Result == nil || rowIdx < 0 || rowIdx >= len(v.Result.Rows) {
+		return nil, fmt.Errorf("core: explain row %d out of range", rowIdx)
+	}
+	row := v.Result.Rows[rowIdx]
+	tree, err := q.treeForQuery(v, row.Branch)
+	if err != nil {
+		return nil, err
+	}
+	cq, err := q.treeToQuery(tree)
+	if err != nil {
+		return nil, err
+	}
+	ex := &Explanation{Tree: tree, SQL: cq.SQL(), Cost: row.Cost}
+	for _, eid := range tree.Edges {
+		e := q.Graph.Edge(eid)
+		switch e.Kind {
+		case searchgraph.EdgeAssociation, searchgraph.EdgeForeignKey:
+			ex.Joins = append(ex.Joins, fmt.Sprintf("%s ~ %s (%s, cost %.3f)",
+				e.A, e.B, e.Kind, q.Graph.Cost(eid)))
+		case searchgraph.EdgeKeyword:
+			se := q.Graph.G.Edge(eid)
+			kwNode, target := q.Graph.Node(se.U), q.Graph.Node(se.V)
+			if kwNode.Kind != searchgraph.KindKeyword {
+				kwNode, target = target, kwNode
+			}
+			ex.Keywords = append(ex.Keywords, fmt.Sprintf("%q matched %s (cost %.3f)",
+				kwNode.Value, target.Label(), q.Graph.Cost(eid)))
+		}
+	}
+	return ex, nil
+}
+
+// String renders the explanation for terminals and logs.
+func (e *Explanation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cost %.3f, tree %s\n", e.Cost, e.Tree.Key())
+	for _, k := range e.Keywords {
+		fmt.Fprintf(&b, "  keyword: %s\n", k)
+	}
+	for _, j := range e.Joins {
+		fmt.Fprintf(&b, "  join:    %s\n", j)
+	}
+	fmt.Fprintf(&b, "  sql:     %s", e.SQL)
+	return b.String()
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplain(t *testing.T) {
+	q := newFixtureQ(t, true)
+	v, err := q.Query("'plasma membrane' 'Kringle domain'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Result.Rows) == 0 {
+		t.Fatal("no rows to explain")
+	}
+	ex, err := q.Explain(v, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Cost != v.Result.Rows[0].Cost {
+		t.Errorf("cost = %v, want %v", ex.Cost, v.Result.Rows[0].Cost)
+	}
+	if len(ex.Keywords) == 0 {
+		t.Error("explanation should list keyword matches")
+	}
+	if !strings.HasPrefix(ex.SQL, "SELECT") {
+		t.Errorf("SQL missing: %q", ex.SQL)
+	}
+	s := ex.String()
+	for _, want := range []string{"cost", "keyword:", "sql:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+	// The cross-source answer must surface the hand-coded association in
+	// its join provenance.
+	foundJoin := false
+	for i := range v.Result.Rows {
+		e, err := q.Explain(v, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, j := range e.Joins {
+			if strings.Contains(j, "go.term.acc") && strings.Contains(j, "association") {
+				foundJoin = true
+			}
+		}
+	}
+	if !foundJoin {
+		t.Error("no explanation surfaced the cross-source association join")
+	}
+	if _, err := q.Explain(v, 99_999); err == nil {
+		t.Error("out-of-range row should fail")
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+
+	"qint/internal/learning"
+	"qint/internal/searchgraph"
+	"qint/internal/steiner"
+)
+
+// minLearnableCost is the floor Algorithm 4's positivity constraint aims
+// for: after every update the cheapest learnable edge costs at least this.
+const minLearnableCost = 0.01
+
+// FeedbackKind classifies an annotation on one view answer (paper §4).
+type FeedbackKind int
+
+const (
+	// FeedbackValid marks an answer as clearly correct: its originating
+	// query is constrained to cost no more than the current top answer.
+	FeedbackValid FeedbackKind = iota
+	// FeedbackInvalid marks an answer as clearly implausible: every other
+	// retained query is preferred over its originating query.
+	FeedbackInvalid
+)
+
+// FeedbackRow applies feedback on the view answer at rowIdx of the view's
+// current ranked result. Q generalises the tuple to the query tree that
+// produced it via provenance, converts the annotation into MIRA margin
+// constraints, updates the weight vector, re-enforces edge-cost positivity,
+// and refreshes all views.
+func (q *Q) FeedbackRow(v *View, rowIdx int, kind FeedbackKind) error {
+	if v.Result == nil || rowIdx < 0 || rowIdx >= len(v.Result.Rows) {
+		return fmt.Errorf("core: feedback row %d out of range", rowIdx)
+	}
+	branch := v.Result.Rows[rowIdx].Branch
+	// Branch indexes v.Queries; recover the producing tree by matching the
+	// query back to its tree position (queries and trees run in parallel,
+	// minus signature-deduplicated trees).
+	tree, err := q.treeForQuery(v, branch)
+	if err != nil {
+		return err
+	}
+	switch kind {
+	case FeedbackValid:
+		return q.FeedbackFavorTree(v, tree)
+	default:
+		// Prefer the best tree that is not the offending one.
+		for _, t := range v.Trees {
+			if t.Key() != tree.Key() {
+				return q.FeedbackFavorTree(v, t)
+			}
+		}
+		return nil // nothing else to promote
+	}
+}
+
+func (q *Q) treeForQuery(v *View, branch int) (steiner.Tree, error) {
+	if branch < 0 || branch >= len(v.Queries) {
+		return steiner.Tree{}, fmt.Errorf("core: branch %d out of range", branch)
+	}
+	sig := v.Queries[branch].Signature()
+	for _, t := range v.Trees {
+		cq, err := q.treeToQuery(t)
+		if err != nil {
+			continue
+		}
+		if cq.Signature() == sig {
+			return t, nil
+		}
+	}
+	return steiner.Tree{}, fmt.Errorf("core: no tree for branch %d", branch)
+}
+
+// FeedbackFavorTree is the core of Algorithm 4 (ONLINELEARNER): the user's
+// feedback names a target tree Tr for the view's keyword set Sr; the k-best
+// list B is recomputed under current weights, MIRA finds the minimal weight
+// change under which Tr beats every T ∈ B by margin L(Tr, T), the default
+// weight is shifted to keep all learnable edge costs positive, and views are
+// refreshed under the new costs.
+func (q *Q) FeedbackFavorTree(v *View, target steiner.Tree) error {
+	return q.FeedbackPreferTrees(v, target, q.KBestTrees(v, v.K))
+}
+
+// FeedbackPreferTrees applies ranking feedback (paper §4: "tuple t_x should
+// be scored higher than t_y"): the target tree is constrained to cost less
+// than each tree in worse, by the structural-loss margin. Callers that know
+// several answers are correct (a user may mark more than one answer valid)
+// pass only the genuinely-worse trees, so good alternatives are not pushed
+// away while promoting the target.
+func (q *Q) FeedbackPreferTrees(v *View, target steiner.Tree, worse []steiner.Tree) error {
+	q.Graph.ActivateKeywords(v.terminals)
+	competitors := make([]learning.TreeExample, 0, len(worse))
+	for _, t := range worse {
+		competitors = append(competitors, q.treeExample(t))
+	}
+	// Algorithm 4 line 11: every learnable edge's cost stays positive. The
+	// constraints are solved inside the same QP as the margins, so the
+	// solver redistributes weight instead of driving one edge far negative
+	// (which would otherwise demand a global offset that inflates every
+	// edge alike and destroys the α-neighbourhood pruning of §3.3).
+	w := q.mira.UpdateWithPositivity(
+		q.Graph.Weights(), q.treeExample(target), competitors,
+		q.learnableEdgeFeatures(), minLearnableCost)
+	q.Graph.SetWeights(w)
+	return q.Refresh()
+}
+
+// KBestTrees computes the k lowest-cost trees for a view's keyword set
+// under the CURRENT weights (the view's stored trees may be stale and are
+// capped at the view's own k). Used by feedback simulators that inspect a
+// deeper result page than the view retains.
+func (q *Q) KBestTrees(v *View, k int) []steiner.Tree {
+	q.Graph.ActivateKeywords(v.terminals)
+	if q.opts.UseApproxSteiner {
+		return q.Graph.G.ApproxTopKSteiner(v.terminals, k)
+	}
+	return q.Graph.G.TopKSteiner(v.terminals, k)
+}
+
+// treeExample converts a Steiner tree into a learning example: features are
+// the sum over learnable edges; edge keys cover all edges (fixed ones too)
+// so the symmetric loss reflects full structural difference.
+func (q *Q) treeExample(t steiner.Tree) learning.TreeExample {
+	keys := make([]string, 0, len(t.Edges))
+	feats := make([]learning.Vector, 0, len(t.Edges))
+	for _, eid := range t.Edges {
+		e := q.Graph.Edge(eid)
+		keys = append(keys, fmt.Sprintf("e%d", eid))
+		if e.Fixed {
+			feats = append(feats, nil)
+		} else {
+			feats = append(feats, e.Features)
+		}
+	}
+	return learning.NewTreeExample(keys, feats)
+}
+
+// learnableEdgeFeatures collects every learnable edge's feature vector for
+// the positivity constraints of Algorithm 4 (the fixed zero-cost edges are
+// the exempt set A).
+func (q *Q) learnableEdgeFeatures() []learning.Vector {
+	out := make([]learning.Vector, 0, q.Graph.NumEdges())
+	for i := 0; i < q.Graph.NumEdges(); i++ {
+		e := q.Graph.Edge(steiner.EdgeID(i))
+		if e.Fixed {
+			continue
+		}
+		out = append(out, e.Features)
+	}
+	return out
+}
+
+// GoldEdgeGap reports the average current cost of association edges whose
+// attribute pairs are in gold versus those that are not — the quantity
+// plotted in Figure 12. Pairs are canonicalised by sorted string form.
+func (q *Q) GoldEdgeGap(gold map[string]bool) (goldAvg, nonGoldAvg float64, goldN, nonGoldN int) {
+	for _, a := range q.Graph.AssociationList() {
+		key := canonicalPair(a.A.String(), a.B.String())
+		c := q.Graph.Cost(a.ID)
+		if gold[key] {
+			goldAvg += c
+			goldN++
+		} else {
+			nonGoldAvg += c
+			nonGoldN++
+		}
+	}
+	if goldN > 0 {
+		goldAvg /= float64(goldN)
+	}
+	if nonGoldN > 0 {
+		nonGoldAvg /= float64(nonGoldN)
+	}
+	return goldAvg, nonGoldAvg, goldN, nonGoldN
+}
+
+func canonicalPair(a, b string) string {
+	if b < a {
+		a, b = b, a
+	}
+	return a + "~" + b
+}
+
+// CanonicalPair exposes the canonical "a~b" form of an attribute pair for
+// building gold-standard sets.
+func CanonicalPair(a, b string) string { return canonicalPair(a, b) }
+
+var _ = searchgraph.EdgeAssociation // kinds used above

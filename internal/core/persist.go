@@ -1,0 +1,124 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"qint/internal/relstore"
+	"qint/internal/searchgraph"
+	"qint/internal/steiner"
+)
+
+// qSnapshot bundles the catalog, the search graph (including learned
+// weights) and the persistent views' definitions. Views are saved as
+// (keywords, k) and rematerialised on load — their contents are a function
+// of the graph, which is saved exactly.
+type qSnapshot struct {
+	Version int             `json:"version"`
+	Options Options         `json:"options"`
+	Catalog json.RawMessage `json:"catalog"`
+	Graph   json.RawMessage `json:"graph"`
+	Views   []viewSnap      `json:"views"`
+}
+
+type viewSnap struct {
+	Keywords []string `json:"keywords"`
+	K        int      `json:"k"`
+}
+
+const qSnapshotVersion = 1
+
+// Save writes the entire Q state (catalog, graph with learned weights,
+// view definitions) as JSON. Matchers are code, not state — re-register
+// them after loading.
+func (q *Q) Save(w io.Writer) error {
+	var catBuf, graphBuf bytes.Buffer
+	if err := q.Catalog.Save(&catBuf); err != nil {
+		return fmt.Errorf("core: save catalog: %w", err)
+	}
+	if err := q.Graph.Save(&graphBuf); err != nil {
+		return fmt.Errorf("core: save graph: %w", err)
+	}
+	s := qSnapshot{
+		Version: qSnapshotVersion,
+		Options: q.opts,
+		Catalog: json.RawMessage(catBuf.Bytes()),
+		Graph:   json.RawMessage(graphBuf.Bytes()),
+	}
+	for _, v := range q.views {
+		s.Views = append(s.Views, viewSnap{Keywords: v.Keywords, K: v.K})
+	}
+	return json.NewEncoder(w).Encode(s)
+}
+
+// Load reconstructs a Q instance saved with Save and rematerialises its
+// views under the loaded (learned) weights. Matchers must be re-registered
+// by the caller before any new alignment work; loading does not require
+// them.
+func Load(r io.Reader) (*Q, error) {
+	var s qSnapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	if s.Version != qSnapshotVersion {
+		return nil, fmt.Errorf("core: unsupported snapshot version %d", s.Version)
+	}
+	cat, err := relstore.LoadCatalog(bytes.NewReader(s.Catalog))
+	if err != nil {
+		return nil, err
+	}
+	graph, err := searchgraph.Load(bytes.NewReader(s.Graph))
+	if err != nil {
+		return nil, err
+	}
+	q := New(s.Options)
+	q.Catalog = cat
+	q.Graph = graph
+	// Rebuild the keyword corpus from the catalog (it is derived state).
+	for _, rel := range cat.Relations() {
+		q.indexRelation(rel)
+	}
+	// Seed the keyword-expansion registry from the loaded graph so that
+	// re-querying the same keywords extends rather than duplicates edges.
+	for _, eid := range graph.EdgesOfKind(searchgraph.EdgeKeyword) {
+		se := graph.G.Edge(eid)
+		kwNode, target := graph.Node(se.U), graph.Node(se.V)
+		if kwNode.Kind != searchgraph.KindKeyword {
+			kwNode, target = target, kwNode
+		}
+		seen := q.expanded[kwNode.Value]
+		if seen == nil {
+			seen = make(map[string]bool)
+			q.expanded[kwNode.Value] = seen
+		}
+		switch target.Kind {
+		case searchgraph.KindAttribute:
+			seen["attr:"+target.Ref.String()] = true
+		case searchgraph.KindRelation:
+			seen["rel:"+target.Rel] = true
+		case searchgraph.KindValue:
+			seen["val:"+target.Ref.String()+"="+target.Value] = true
+		}
+	}
+	// Recreate views: Query re-expands keywords (idempotently — the loaded
+	// graph already holds their nodes and edges) and rematerialises.
+	for _, vs := range s.Views {
+		joined := ""
+		for i, kw := range vs.Keywords {
+			if i > 0 {
+				joined += " "
+			}
+			joined += "'" + kw + "'"
+		}
+		v, err := q.Query(joined)
+		if err != nil {
+			return nil, fmt.Errorf("core: load view %v: %w", vs.Keywords, err)
+		}
+		v.K = vs.K
+	}
+	return q, nil
+}
+
+var _ = steiner.NodeID(0) // steiner node ids flow through edge endpoints above

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	q := newFixtureQ(t, true)
+	v, err := q.Query("'plasma membrane' 'Kringle domain'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Learn something so the snapshot carries non-default weights.
+	if len(v.Trees) >= 2 {
+		if err := q.FeedbackFavorTree(v, v.Trees[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	beforeRows := renderRows(v)
+	beforeWeights := q.Graph.Weights().Clone()
+
+	var buf bytes.Buffer
+	if err := q.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q2, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if q2.Catalog.NumRelations() != q.Catalog.NumRelations() {
+		t.Errorf("relations: %d vs %d", q2.Catalog.NumRelations(), q.Catalog.NumRelations())
+	}
+	if q2.Graph.NumEdges() != q.Graph.NumEdges() {
+		t.Errorf("edges: %d vs %d (duplicated keyword edges on load?)",
+			q2.Graph.NumEdges(), q.Graph.NumEdges())
+	}
+	for k, w := range beforeWeights {
+		if q2.Graph.Weights()[k] != w {
+			t.Errorf("weight %s: %v vs %v", k, q2.Graph.Weights()[k], w)
+		}
+	}
+	views := q2.Views()
+	if len(views) != 1 {
+		t.Fatalf("views = %d, want 1", len(views))
+	}
+	if got := renderRows(views[0]); got != beforeRows {
+		t.Errorf("view contents changed across save/load:\nbefore:\n%s\nafter:\n%s",
+			beforeRows, got)
+	}
+}
+
+func TestSaveLoadEmptyInstance(t *testing.T) {
+	q := New(DefaultOptions())
+	var buf bytes.Buffer
+	if err := q.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q2, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.Catalog.NumRelations() != 0 || len(q2.Views()) != 0 {
+		t.Error("empty instance should load empty")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	for i, s := range []string{"", "{", `{"version": 42}`} {
+		if _, err := Load(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestLoadedInstanceKeepsWorking(t *testing.T) {
+	q := newFixtureQ(t, true)
+	if _, err := q.Query("'plasma membrane' 'Kringle domain'"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := q.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q2, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New query on the loaded instance.
+	v, err := q2.Query("'nucleus' entry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Trees) == 0 {
+		t.Error("loaded instance should answer new queries")
+	}
+	// Feedback still works.
+	if len(v.Result.Rows) > 0 {
+		if err := q2.FeedbackRow(v, 0, FeedbackValid); err != nil {
+			t.Errorf("feedback on loaded instance: %v", err)
+		}
+	}
+}

@@ -1,0 +1,388 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qint/internal/relstore"
+	"qint/internal/searchgraph"
+	"qint/internal/steiner"
+	"qint/internal/text"
+)
+
+// View is a persistent keyword-search view (paper §2.3): the definition
+// (keywords, k) plus the current materialisation (top-k query trees, their
+// conjunctive queries and the ranked, unioned result). Views are refreshed
+// whenever search-graph maintenance changes costs or topology.
+type View struct {
+	Keywords []string
+	K        int
+
+	// Alpha is the cost of the k-th (worst) retained query tree — the
+	// pruning radius of VIEWBASEDALIGNER.
+	Alpha float64
+
+	Trees   []steiner.Tree
+	Queries []*relstore.ConjunctiveQuery
+	Result  *relstore.UnionResult
+
+	terminals []steiner.NodeID
+}
+
+// Query parses a keyword query ('single quotes' group phrases), expands the
+// search graph into a query graph, computes the top-k Steiner trees,
+// generates and executes their conjunctive queries, and unions the answers
+// into a ranked view. The view is persistent: it is retained for refresh on
+// future search-graph maintenance.
+func (q *Q) Query(query string) (*View, error) {
+	keywords := parseKeywords(query)
+	if len(keywords) == 0 {
+		return nil, fmt.Errorf("core: empty keyword query %q", query)
+	}
+	v := &View{Keywords: keywords, K: q.opts.K}
+	for _, kw := range keywords {
+		v.terminals = append(v.terminals, q.expandKeyword(kw))
+	}
+	if err := q.materialize(v); err != nil {
+		return nil, err
+	}
+	q.views = append(q.views, v)
+	return v, nil
+}
+
+// expandKeyword adds (or extends) the query-graph expansion for one keyword
+// (paper §2.2): similarity edges to matching schema elements via tf-idf,
+// and lazily-materialised value nodes for matching data values. Re-invoked
+// after registrations, it only adds edges to targets not already linked.
+func (q *Q) expandKeyword(kw string) steiner.NodeID {
+	kwNode := q.Graph.KeywordNode(kw)
+	seen := q.expanded[kw]
+	if seen == nil {
+		seen = make(map[string]bool)
+		q.expanded[kw] = seen
+	}
+
+	// Metadata matches: attributes and relations by tf-idf cosine.
+	for _, m := range q.corpus.TopMatches(kw, q.opts.MatchThreshold, q.opts.MaxMatchesPerKeyword) {
+		if seen[m.ID] {
+			continue
+		}
+		seen[m.ID] = true
+		switch {
+		case len(m.ID) > 5 && m.ID[:5] == "attr:":
+			ref, err := relstore.ParseAttrRef(m.ID[5:])
+			if err != nil {
+				continue
+			}
+			q.Graph.AddKeywordEdge(kwNode, q.Graph.AttributeNode(ref), m.Score)
+		case len(m.ID) > 4 && m.ID[:4] == "rel:":
+			q.Graph.AddKeywordEdge(kwNode, q.Graph.RelationNode(m.ID[4:]), m.Score)
+		}
+	}
+
+	// Data-value matches: lazily create value nodes (paper §2.1/§2.2).
+	hits := q.Catalog.FindValues(kw)
+	if len(hits) > q.opts.MaxMatchesPerKeyword {
+		// Prefer exact-normalised matches, then fewer-row (more selective)
+		// values, for determinism under truncation.
+		nkw := text.Normalize(kw)
+		sort.SliceStable(hits, func(i, j int) bool {
+			ei := text.Normalize(hits[i].Value) == nkw
+			ej := text.Normalize(hits[j].Value) == nkw
+			if ei != ej {
+				return ei
+			}
+			return hits[i].Rows < hits[j].Rows
+		})
+		hits = hits[:q.opts.MaxMatchesPerKeyword]
+	}
+	for _, h := range hits {
+		key := "val:" + h.Ref.String() + "=" + h.Value
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		sim := text.ContainmentSimilarity(kw, h.Value)
+		if sim < q.opts.MatchThreshold {
+			continue
+		}
+		vn := q.Graph.ValueNode(h.Ref, h.Value)
+		q.Graph.AddKeywordEdge(kwNode, vn, sim)
+	}
+	return kwNode
+}
+
+// materialize (re)computes a view's trees, queries and result under the
+// current search graph. Only this view's keyword edges are active during
+// the computation: keyword nodes persist across views, and a stale keyword
+// must never serve as a cheap bridge in another query's trees.
+func (q *Q) materialize(v *View) error {
+	q.Graph.ActivateKeywords(v.terminals)
+	var trees []steiner.Tree
+	if q.opts.UseApproxSteiner {
+		trees = q.Graph.G.ApproxTopKSteiner(v.terminals, v.K)
+	} else {
+		trees = q.Graph.G.TopKSteiner(v.terminals, v.K)
+	}
+	// Trees whose only way to connect the keywords runs through a disabled
+	// edge are not real answers.
+	{
+		kept := trees[:0]
+		for _, t := range trees {
+			if t.Cost < searchgraph.DisabledEdgeCost {
+				kept = append(kept, t)
+			}
+		}
+		trees = kept
+	}
+	// Prune trees using over-threshold association edges, if configured.
+	if q.opts.AssocCostThreshold > 0 {
+		kept := trees[:0]
+		for _, t := range trees {
+			if !q.treeUsesExpensiveAssoc(t) {
+				kept = append(kept, t)
+			}
+		}
+		trees = kept
+	}
+	v.Trees = trees
+
+	v.Queries = v.Queries[:0]
+	var branches []relstore.Branch
+	sigs := make(map[string]bool)
+	outputSchema := make(map[string]bool) // QA of §2.2
+	for _, t := range trees {
+		cq, err := q.treeToQuery(t)
+		if err != nil {
+			return err
+		}
+		if sigs[cq.Signature()] {
+			continue // equivalent query from a different tree
+		}
+		sigs[cq.Signature()] = true
+		q.alignOutputColumns(cq, outputSchema)
+		rs, err := relstore.Execute(q.Catalog, cq)
+		if err != nil {
+			return err
+		}
+		v.Queries = append(v.Queries, cq)
+		branches = append(branches, relstore.Branch{
+			Result:     rs,
+			Cost:       cq.Cost,
+			Provenance: cq.Signature(),
+		})
+	}
+	v.Result = relstore.DisjointUnion(branches)
+	// α is the cost of the k-th top-scoring RESULT (paper §3.3: "the cost
+	// of the kth top-scoring result for the user view") — when the best
+	// query yields many tuples, α stays at that query's cost, keeping the
+	// VIEWBASEDALIGNER neighbourhood tight. Fall back to the worst retained
+	// tree when the view yields fewer than k tuples.
+	v.Alpha = 0
+	switch {
+	case len(v.Result.Rows) >= v.K && v.K > 0:
+		v.Alpha = v.Result.Rows[v.K-1].Cost
+	case len(v.Result.Rows) > 0:
+		v.Alpha = v.Result.Rows[len(v.Result.Rows)-1].Cost
+		if len(trees) > 0 && trees[len(trees)-1].Cost > v.Alpha {
+			v.Alpha = trees[len(trees)-1].Cost
+		}
+	case len(trees) > 0:
+		v.Alpha = trees[len(trees)-1].Cost
+	}
+	return nil
+}
+
+func (q *Q) treeUsesExpensiveAssoc(t steiner.Tree) bool {
+	for _, eid := range t.Edges {
+		e := q.Graph.Edge(eid)
+		if e.Kind == searchgraph.EdgeAssociation && q.Graph.Cost(eid) > q.opts.AssocCostThreshold {
+			return true
+		}
+	}
+	return false
+}
+
+// Refresh rematerialises every persistent view (after weight updates or new
+// alignments). Keyword expansions are extended first so new sources'
+// matches participate.
+func (q *Q) Refresh() error {
+	for _, v := range q.views {
+		for _, kw := range v.Keywords {
+			q.expandKeyword(kw)
+		}
+		if err := q.materialize(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TreeQuery converts a Steiner tree over the search graph into a
+// conjunctive query. It is the exported form of the view pipeline's
+// tree-to-query translation, used by the mediated-schema adapter and by
+// tools that want to inspect or execute a tree directly.
+func (q *Q) TreeQuery(t steiner.Tree) (*relstore.ConjunctiveQuery, error) {
+	return q.treeToQuery(t)
+}
+
+// treeToQuery converts a Steiner tree over the search graph into a
+// conjunctive query (paper §2.2): relation nodes (and relations reached by
+// zero-cost edges from attribute/value nodes) become atoms; foreign-key and
+// association edges become join conditions; keyword→value edges become
+// selection conditions; attribute and value nodes drive the projection.
+func (q *Q) treeToQuery(t steiner.Tree) (*relstore.ConjunctiveQuery, error) {
+	cq := &relstore.ConjunctiveQuery{Cost: t.Cost}
+	alias := make(map[string]string) // relation -> alias
+
+	ensureAtom := func(rel string) string {
+		if a, ok := alias[rel]; ok {
+			return a
+		}
+		a := fmt.Sprintf("t%d", len(alias))
+		alias[rel] = a
+		cq.Atoms = append(cq.Atoms, relstore.Atom{Relation: rel, Alias: a})
+		return a
+	}
+
+	// Atoms from every non-keyword node in the tree.
+	for _, nid := range t.Nodes {
+		n := q.Graph.Node(nid)
+		switch n.Kind {
+		case searchgraph.KindRelation:
+			ensureAtom(n.Rel)
+		case searchgraph.KindAttribute, searchgraph.KindValue:
+			ensureAtom(n.Ref.Relation)
+		}
+	}
+
+	// Conditions from edges.
+	for _, eid := range t.Edges {
+		e := q.Graph.Edge(eid)
+		switch e.Kind {
+		case searchgraph.EdgeForeignKey, searchgraph.EdgeAssociation:
+			la := ensureAtom(e.A.Relation)
+			ra := ensureAtom(e.B.Relation)
+			cq.Joins = append(cq.Joins, relstore.JoinCond{
+				LeftAlias: la, LeftAttr: e.A.Attr,
+				RightAlias: ra, RightAttr: e.B.Attr,
+			})
+		case searchgraph.EdgeKeyword:
+			se := q.Graph.G.Edge(eid)
+			target := q.Graph.Node(se.U)
+			if target.Kind == searchgraph.KindKeyword {
+				target = q.Graph.Node(se.V)
+			}
+			if target.Kind == searchgraph.KindValue {
+				a := ensureAtom(target.Ref.Relation)
+				cq.Selects = append(cq.Selects, relstore.SelCond{
+					Alias: a, Attr: target.Ref.Attr, Op: relstore.OpEq, Value: target.Value,
+				})
+			}
+			// Keyword→attribute/relation matches add no condition; the
+			// matched element already anchors the atom set.
+		}
+	}
+	if len(cq.Atoms) == 0 {
+		return nil, fmt.Errorf("core: tree %s touches no relations", t.Key())
+	}
+	// Project every attribute of every atom (full tuples, as the paper's
+	// example outputs show). Output labels must be unique within one query;
+	// when a second relation carries an already-used attribute name, it
+	// gets a relation-qualified label, which the outer union may later
+	// merge with compatible columns.
+	nameUsed := make(map[string]bool)
+	for _, atom := range cq.Atoms {
+		rel := q.Catalog.Relation(atom.Relation)
+		if rel == nil {
+			continue
+		}
+		for _, a := range rel.Attributes {
+			as := a.Name
+			if nameUsed[as] {
+				as = relationShortName(atom.Relation) + "_" + a.Name
+			}
+			for nameUsed[as] {
+				as = "_" + as
+			}
+			nameUsed[as] = true
+			cq.Project = append(cq.Project, relstore.ProjCol{Alias: atom.Alias, Attr: a.Name, As: as})
+		}
+	}
+	// Deterministic condition order.
+	sort.Slice(cq.Joins, func(i, j int) bool {
+		a, b := cq.Joins[i], cq.Joins[j]
+		return a.LeftAlias+a.LeftAttr+a.RightAlias+a.RightAttr < b.LeftAlias+b.LeftAttr+b.RightAlias+b.RightAttr
+	})
+	sort.Slice(cq.Selects, func(i, j int) bool {
+		a, b := cq.Selects[i], cq.Selects[j]
+		return a.Alias+a.Attr+a.Value < b.Alias+b.Attr+b.Value
+	})
+	return cq, nil
+}
+
+// relationShortName strips the source qualifier: "ip.entry" -> "entry".
+func relationShortName(qualified string) string {
+	if i := strings.Index(qualified, "."); i >= 0 {
+		return qualified[i+1:]
+	}
+	return qualified
+}
+
+// alignOutputColumns implements the output-schema unification of §2.2: for
+// each projected attribute a of this query, if a low-cost association edge
+// links a's node to an attribute whose label already appears in the unified
+// output schema QA, rename a to that label (unless this query already
+// outputs it); otherwise a joins QA under its own name.
+func (q *Q) alignOutputColumns(cq *relstore.ConjunctiveQuery, outputSchema map[string]bool) {
+	aliasRel := make(map[string]string, len(cq.Atoms))
+	for _, a := range cq.Atoms {
+		aliasRel[a.Alias] = a.Relation
+	}
+	current := make(map[string]bool, len(cq.Project))
+	for _, p := range cq.Project {
+		current[p.As] = true
+	}
+	for i, p := range cq.Project {
+		if outputSchema[p.As] {
+			continue // already unified under its own name
+		}
+		ref := relstore.AttrRef{Relation: aliasRel[p.Alias], Attr: p.Attr}
+		if label, ok := q.compatibleOutputLabel(ref, outputSchema); ok && !current[label] {
+			delete(current, p.As)
+			cq.Project[i].As = label
+			current[label] = true
+		}
+	}
+	for _, p := range cq.Project {
+		outputSchema[p.As] = true
+	}
+}
+
+// compatibleOutputLabel finds an attribute a' connected to ref by an
+// association edge of cost below the column-alignment threshold whose label
+// (attribute name) is already in the output schema.
+func (q *Q) compatibleOutputLabel(ref relstore.AttrRef, outputSchema map[string]bool) (string, bool) {
+	nid := q.Graph.LookupAttribute(ref)
+	if nid < 0 {
+		return "", false
+	}
+	for _, eid := range q.Graph.G.Incident(nid) {
+		e := q.Graph.Edge(eid)
+		if e.Kind != searchgraph.EdgeAssociation {
+			continue
+		}
+		if q.Graph.Cost(eid) > q.opts.ColumnAlignThreshold {
+			continue
+		}
+		other := e.A
+		if other == ref {
+			other = e.B
+		}
+		if outputSchema[other.Attr] {
+			return other.Attr, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,274 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"qint/internal/relstore"
+)
+
+// GBCOCorpus stands in for the GBCO beta-cell genomics database of §5.1
+// (18 relations modelled as separate sources, 187 attributes) together with
+// the query-log-derived trial workload: 16 trials that introduce 40 new
+// sources in total, each trial pairing a base query with an expanded query
+// that joins or unions additional relations.
+type GBCOCorpus struct {
+	// Tables holds all 18 relations; each relation is its own source.
+	Tables []*relstore.Table
+	// Trials are the base-vs-expanded query-log pairs.
+	Trials []Trial
+}
+
+// Trial encodes one query-log pair of §5.1: a base query answerable from
+// BaseRelations, and an expansion that requires the NewSources. Keywords is
+// the keyword query constructed so that the base query's relations appear
+// in its Steiner trees.
+type Trial struct {
+	// BaseRelations are qualified names of the relations in the base query.
+	BaseRelations []string
+	// NewSources are the source names introduced by the expanded query.
+	NewSources []string
+	// Keywords is the two-keyword query for the trial.
+	Keywords string
+}
+
+// gbcoSpec defines one relation: its name, attributes, and foreign keys
+// (attr -> "relation.attr", relation names are unqualified here and both
+// source and relation share the name).
+type gbcoSpec struct {
+	name  string
+	attrs []string
+	fks   map[string]string
+}
+
+// gbcoSpecs is the full 18-relation schema; attribute counts sum to 187.
+var gbcoSpecs = []gbcoSpec{
+	{name: "gene", attrs: []string{
+		"gene_id", "symbol", "name", "chromosome", "start_pos", "end_pos",
+		"strand", "biotype", "description", "organism", "ensembl_id",
+		"refseq_id", "locus_tag", "synonym", "map_location", "gene_family"}},
+	{name: "transcript", attrs: []string{
+		"transcript_id", "gene_id", "name", "length", "biotype",
+		"is_canonical", "cds_start", "cds_end", "exon_count",
+		"support_level", "tss_distance", "utr5_len", "utr3_len", "polya_site"},
+		fks: map[string]string{"gene_id": "gene.gene_id"}},
+	{name: "protein", attrs: []string{
+		"protein_id", "transcript_id", "uniprot_ac", "sequence_len", "mass",
+		"description", "family", "domain_count", "signal_peptide",
+		"localization", "pdb_id", "isoform", "ec_number", "pi_value"},
+		fks: map[string]string{"transcript_id": "transcript.transcript_id"}},
+	{name: "exon", attrs: []string{
+		"exon_id", "transcript_id", "exon_number", "start_pos", "end_pos", "phase"},
+		fks: map[string]string{"transcript_id": "transcript.transcript_id"}},
+	{name: "probe", attrs: []string{
+		"probe_id", "array_id", "gene_id", "sequence", "position",
+		"gc_content", "mismatch_count", "probe_set", "tm_value", "strand"},
+		fks: map[string]string{"gene_id": "gene.gene_id", "array_id": "array.array_id"}},
+	{name: "array", attrs: []string{
+		"array_id", "platform", "name", "vendor", "probe_count",
+		"annotation_version", "release_date", "rows", "cols", "feature_count"}},
+	{name: "experiment", attrs: []string{
+		"experiment_id", "name", "description", "array_id", "lab", "protocol",
+		"date_run", "condition", "replicate_count", "pubmed_id",
+		"quality_score", "normalization", "platform_version", "submitter",
+		"contact", "series_id"},
+		fks: map[string]string{"array_id": "array.array_id", "pubmed_id": "publication.pubmed_id"}},
+	{name: "sample", attrs: []string{
+		"sample_id", "experiment_id", "tissue_id", "donor_age", "donor_sex",
+		"treatment", "dosage", "time_point", "rna_quality", "batch",
+		"barcode", "collection_date", "storage", "prep_method", "operator"},
+		fks: map[string]string{"experiment_id": "experiment.experiment_id", "tissue_id": "tissue.tissue_id"}},
+	{name: "tissue", attrs: []string{
+		"tissue_id", "name", "organ", "species", "ontology_term",
+		"description", "development_stage", "cell_type"}},
+	{name: "expression", attrs: []string{
+		"expression_id", "sample_id", "probe_id", "intensity", "log_ratio",
+		"p_value", "fold_change", "detection_call", "rank", "background",
+		"flag", "normalized_intensity"},
+		fks: map[string]string{"sample_id": "sample.sample_id", "probe_id": "probe.probe_id"}},
+	{name: "pathway", attrs: []string{
+		"pathway_id", "name", "source_db", "category", "gene_count",
+		"description", "curation_status", "url", "version", "organism"}},
+	{name: "pathway_member", attrs: []string{
+		"pathway_id", "gene_id", "role", "evidence"},
+		fks: map[string]string{"pathway_id": "pathway.pathway_id", "gene_id": "gene.gene_id"}},
+	{name: "go_annotation", attrs: []string{
+		"annotation_id", "gene_id", "go_id", "evidence_code", "aspect",
+		"assigned_by", "qualifier", "with_from"},
+		fks: map[string]string{"gene_id": "gene.gene_id"}},
+	{name: "publication", attrs: []string{
+		"pubmed_id", "title", "journal", "year", "volume", "pages",
+		"first_author", "abstract", "doi", "issue", "language", "citation_count"}},
+	{name: "author", attrs: []string{
+		"author_id", "name", "affiliation", "email", "orcid", "initials"}},
+	{name: "gene2pub", attrs: []string{
+		"gene_id", "pubmed_id", "mention_count", "curated"},
+		fks: map[string]string{"gene_id": "gene.gene_id", "pubmed_id": "publication.pubmed_id"}},
+	{name: "ortholog", attrs: []string{
+		"ortholog_id", "gene_id", "target_gene_id", "target_species",
+		"identity_pct", "alignment_len"},
+		fks: map[string]string{"gene_id": "gene.gene_id"}},
+	{name: "variant", attrs: []string{
+		"variant_id", "gene_id", "chromosome", "position", "ref_allele",
+		"alt_allele", "consequence", "rs_id", "maf", "clinical_significance",
+		"validation_status", "source_db", "genotype_freq", "study", "phase",
+		"assembly"},
+		fks: map[string]string{"gene_id": "gene.gene_id"}},
+}
+
+// gbcoEntities is the number of key entities per entity table; relations
+// with foreign keys get gbcoFanout rows per referenced entity so that key
+// lookups fan out — the property that keeps the top query producing at
+// least k tuples (and hence the α radius tight) as in real FK data.
+const (
+	gbcoEntities = 40
+	gbcoFanout   = 8
+)
+
+// gbcoRowCount returns the generated row count for a relation.
+func gbcoRowCount(spec gbcoSpec) int {
+	if len(spec.fks) > 0 {
+		return gbcoEntities * gbcoFanout
+	}
+	return gbcoEntities
+}
+
+// GBCO builds the corpus deterministically.
+func GBCO() *GBCOCorpus {
+	r := rand.New(rand.NewSource(424242))
+	idPools := make(map[string][]string) // "relation.attr" -> generated key values
+
+	// Pre-generate key pools so foreign keys can draw from them. Every pool
+	// has gbcoEntities distinct keys regardless of the owning table's row
+	// count, so any table referencing another gets ~gbcoFanout matching
+	// rows per key — the fanout that keeps keyword views' k result slots
+	// full and their α pruning radii meaningful.
+	for _, spec := range gbcoSpecs {
+		pk := spec.attrs[0]
+		pool := make([]string, gbcoEntities)
+		prefix := strings.ToUpper(spec.name[:3])
+		for i := range pool {
+			pool[i] = fmt.Sprintf("%s%05d", prefix, i+1)
+		}
+		idPools[spec.name+"."+pk] = pool
+	}
+	// publication's PK is pubmed_id; author's name pool doubles as the
+	// first_author domain, creating value overlap without a declared FK.
+	authorNames := make([]string, gbcoEntities)
+	for i := range authorNames {
+		authorNames[i] = fmt.Sprintf("Researcher %c. %s", 'A'+i%26, geneWords[i%len(geneWords)])
+	}
+
+	var tables []*relstore.Table
+	for _, spec := range gbcoSpecs {
+		rel := &relstore.Relation{Source: spec.name, Name: spec.name}
+		for _, a := range spec.attrs {
+			rel.Attributes = append(rel.Attributes, relstore.Attribute{Name: a})
+		}
+		for from, to := range spec.fks {
+			parts := strings.SplitN(to, ".", 2)
+			rel.ForeignKeys = append(rel.ForeignKeys, relstore.ForeignKey{
+				FromAttr: from, ToRelation: parts[0] + "." + parts[0], ToAttr: parts[1],
+			})
+		}
+		rows := gbcoRows(r, spec, idPools, authorNames)
+		t, err := relstore.NewTable(rel, rows)
+		if err != nil {
+			panic(fmt.Sprintf("datasets: GBCO table %s: %v", spec.name, err))
+		}
+		tables = append(tables, t)
+	}
+
+	return &GBCOCorpus{Tables: tables, Trials: gbcoTrials()}
+}
+
+var geneWords = []string{
+	"insulin", "glucagon", "somatostatin", "amylin", "pdx1", "nkx6", "mafa",
+	"glut2", "kir6", "sur1", "gck", "foxo1", "neurod1", "pax6", "isl1",
+	"hnf4a", "ngn3", "ptf1a", "sox9", "arx",
+}
+
+// gbcoRows generates one relation's rows: the primary key walks its pool;
+// foreign-key columns draw from the target pool (full overlap); remaining
+// columns get type-flavoured filler.
+func gbcoRows(r *rand.Rand, spec gbcoSpec, idPools map[string][]string, authorNames []string) [][]string {
+	pk := spec.attrs[0]
+	pkPool := idPools[spec.name+"."+pk]
+	n := gbcoRowCount(spec)
+	rows := make([][]string, n)
+	for i := 0; i < n; i++ {
+		row := make([]string, len(spec.attrs))
+		for j, attr := range spec.attrs {
+			switch {
+			case attr == pk:
+				row[j] = pkPool[i%len(pkPool)]
+			case spec.fks[attr] != "":
+				pool := idPools[spec.fks[attr]]
+				row[j] = pool[r.Intn(len(pool))]
+			case attr == "name" || attr == "symbol":
+				row[j] = fmt.Sprintf("%s %s", geneWords[(i+j)%len(geneWords)], spec.name)
+			case attr == "first_author":
+				row[j] = authorNames[i%len(authorNames)]
+			case spec.name == "author" && attr == "name":
+				row[j] = authorNames[i%len(authorNames)]
+			case strings.Contains(attr, "description") || strings.Contains(attr, "abstract") || attr == "title":
+				row[j] = fmt.Sprintf("study of %s in beta cells %d", geneWords[i%len(geneWords)], i)
+			case strings.HasSuffix(attr, "_id") || strings.HasSuffix(attr, "_ac"):
+				row[j] = fmt.Sprintf("X%s%04d", strings.ToUpper(attr[:2]), r.Intn(500))
+			default:
+				row[j] = fmt.Sprint(r.Intn(1000))
+			}
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// gbcoTrials returns the 16 query-log trials (40 source introductions in
+// total). Keywords reference generated key values so the Steiner trees pass
+// through the base relations.
+func gbcoTrials() []Trial {
+	t := []Trial{
+		{BaseRelations: []string{"gene.gene", "transcript.transcript"},
+			NewSources: []string{"protein", "exon", "variant"}, Keywords: "'GEN00001' transcript"},
+		{BaseRelations: []string{"experiment.experiment", "sample.sample"},
+			NewSources: []string{"tissue", "expression"}, Keywords: "'EXP00002' sample"},
+		{BaseRelations: []string{"gene.gene", "pathway_member.pathway_member"},
+			NewSources: []string{"pathway", "go_annotation"}, Keywords: "'GEN00003' pathway"},
+		{BaseRelations: []string{"publication.publication", "gene2pub.gene2pub"},
+			NewSources: []string{"author", "gene"}, Keywords: "'PUB00004' gene"},
+		{BaseRelations: []string{"probe.probe", "array.array"},
+			NewSources: []string{"expression", "experiment", "sample"}, Keywords: "'PRO00005' array"},
+		{BaseRelations: []string{"gene.gene", "go_annotation.go_annotation"},
+			NewSources: []string{"pathway", "pathway_member"}, Keywords: "'GEN00006' annotation"},
+		{BaseRelations: []string{"transcript.transcript", "protein.protein"},
+			NewSources: []string{"exon", "gene"}, Keywords: "'TRA00007' protein"},
+		{BaseRelations: []string{"sample.sample", "tissue.tissue"},
+			NewSources: []string{"expression", "probe"}, Keywords: "'SAM00008' tissue"},
+		{BaseRelations: []string{"gene.gene", "variant.variant"},
+			NewSources: []string{"ortholog", "transcript", "protein"}, Keywords: "'GEN00009' variant"},
+		{BaseRelations: []string{"experiment.experiment", "publication.publication"},
+			NewSources: []string{"author", "gene2pub"}, Keywords: "'EXP00010' publication"},
+		{BaseRelations: []string{"pathway.pathway", "pathway_member.pathway_member"},
+			NewSources: []string{"go_annotation", "gene"}, Keywords: "'PAT00011' member"},
+		{BaseRelations: []string{"gene.gene", "ortholog.ortholog"},
+			NewSources: []string{"variant", "transcript", "go_annotation"}, Keywords: "'GEN00012' ortholog"},
+		{BaseRelations: []string{"expression.expression", "probe.probe"},
+			NewSources: []string{"array", "sample", "experiment"}, Keywords: "'EXP00013' probe"},
+		{BaseRelations: []string{"publication.publication", "author.author"},
+			NewSources: []string{"gene2pub", "experiment", "gene"}, Keywords: "'PUB00014' author"},
+		{BaseRelations: []string{"tissue.tissue", "sample.sample"},
+			NewSources: []string{"experiment", "expression", "array"}, Keywords: "'TIS00015' sample"},
+		{BaseRelations: []string{"gene.gene", "gene2pub.gene2pub"},
+			NewSources: []string{"publication", "author", "variant"}, Keywords: "'GEN00016' publication"},
+	}
+	return t
+}
+
+// NumGBCORelations and NumGBCOAttributes document the corpus shape the
+// paper reports (18 relations, 187 attributes); tests assert them.
+const (
+	NumGBCORelations  = 18
+	NumGBCOAttributes = 187
+)

@@ -1,0 +1,35 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qint/internal/relstore"
+)
+
+// SyntheticRelations generates n additional two-attribute sources for the
+// Figure 8 scaling experiment (§5.1.2: "we randomly generated new sources
+// with two attributes, and then connected them to two random nodes in the
+// search graph"). Each table is its own source ("synN") with no instance
+// data — the scaling experiment counts column comparisons only.
+func SyntheticRelations(n int, seed int64) []*relstore.Table {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]*relstore.Table, n)
+	for i := 0; i < n; i++ {
+		src := fmt.Sprintf("syn%d", i)
+		rel := &relstore.Relation{
+			Source: src,
+			Name:   "data",
+			Attributes: []relstore.Attribute{
+				{Name: fmt.Sprintf("col_%d_a", r.Intn(1_000_000))},
+				{Name: fmt.Sprintf("col_%d_b", r.Intn(1_000_000))},
+			},
+		}
+		t, err := relstore.NewTable(rel, nil)
+		if err != nil {
+			panic(fmt.Sprintf("datasets: synthetic relation %d: %v", i, err))
+		}
+		out[i] = t
+	}
+	return out
+}

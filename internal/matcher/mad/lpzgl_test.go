@@ -1,0 +1,86 @@
+package mad
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLPZGLClampsSeeds(t *testing.T) {
+	g := NewGraph(4, 2)
+	g.Seed(0, 0)
+	g.Seed(1, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	res := g.RunLPZGL(50, 1e-9)
+	// Seeded nodes stay dominated by their own label (propagation is
+	// clamped; the read-out sweep mixes in the harmonic neighbour estimate
+	// so the matcher can observe foreign labels, but the seed leads).
+	for _, v := range []int{0, 1} {
+		top := res.TopLabels(v, 2)
+		if len(top) == 0 || top[0].Label != g.seed[v] {
+			t.Errorf("seed %d lost its own label: %v", v, top)
+		}
+		if len(top) > 1 && top[1].Score >= top[0].Score {
+			t.Errorf("seed %d: foreign label should not dominate: %v", v, top)
+		}
+	}
+	// The shared value node mixes both labels roughly evenly.
+	mid := res.TopLabels(2, 2)
+	if len(mid) != 2 {
+		t.Fatalf("shared node labels: %v", mid)
+	}
+	if math.Abs(mid[0].Score-mid[1].Score) > 0.2 {
+		t.Errorf("symmetric neighbours should mix evenly: %v", mid)
+	}
+}
+
+func TestLPZGLDriftVsMAD(t *testing.T) {
+	// A hub (high-degree value node) connects one source column to many
+	// distant columns. With LP-ZGL the source label floods through the hub
+	// undamped; MAD's abandonment keeps distant mass lower. This is the
+	// paper's §3.2.2 motivation for the abandonment probability.
+	const fanout = 12
+	n := 2 + fanout // src col, hub value, fanout distant cols
+	g := NewGraph(n, 1+fanout)
+	g.Seed(0, 0)
+	g.AddEdge(0, 1, 1) // src - hub
+	for i := 0; i < fanout; i++ {
+		g.AddEdge(1, 2+i, 1) // hub - distant col
+		g.Seed(2+i, 1+i)     // each distant col has its own label
+	}
+
+	lp := g.RunLPZGL(50, 1e-9)
+	madRes := g.Run(DefaultParams())
+
+	massAtDistance := func(r *Result) float64 {
+		total := 0.0
+		for i := 0; i < fanout; i++ {
+			for _, ls := range r.TopLabels(2+i, 20) {
+				if ls.Label == 0 {
+					total += ls.Score
+				}
+			}
+		}
+		return total
+	}
+	lpMass, madMass := massAtDistance(lp), massAtDistance(madRes)
+	if madMass >= lpMass {
+		t.Errorf("MAD should damp propagation through the hub: MAD %v vs LP-ZGL %v",
+			madMass, lpMass)
+	}
+}
+
+func TestUseLPZGLSwitchesMatcher(t *testing.T) {
+	c := overlapCatalog(t)
+	m := New()
+	m.UseLPZGL(25)
+	got := m.Match(c, c.Relation("go.term"), c.Relation("ip.interpro2go"))
+	if len(got) == 0 {
+		t.Fatal("LP-ZGL matcher should still find the value-overlap alignment")
+	}
+	pair := map[string]bool{got[0].A.String(): true, got[0].B.String(): true}
+	if !pair["go.term.acc"] || !pair["ip.interpro2go.go_id"] {
+		t.Errorf("best alignment should be acc↔go_id, got %v", got[0])
+	}
+}

@@ -1,0 +1,158 @@
+package mad
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRunPropagatesThroughSharedValues(t *testing.T) {
+	// Figure 4 of the paper: two column nodes (go_id, acc) sharing three
+	// value nodes. After propagation each column should carry both labels.
+	g := NewGraph(5, 2)
+	const goID, acc = 0, 1
+	g.Seed(goID, 0)
+	g.Seed(acc, 1)
+	for v := 2; v < 5; v++ {
+		g.AddEdge(goID, v, 1)
+		g.AddEdge(acc, v, 1)
+	}
+	res := g.Run(DefaultParams())
+
+	top := res.TopLabels(goID, 2)
+	if len(top) != 2 {
+		t.Fatalf("go_id should see both labels, got %v", top)
+	}
+	if top[0].Label != 0 {
+		t.Errorf("go_id's own label should dominate: %v", top)
+	}
+	if top[1].Label != 1 || top[1].Score <= 0 {
+		t.Errorf("acc's label should propagate to go_id: %v", top)
+	}
+	// Value nodes carry both labels too.
+	vTop := res.TopLabels(2, 2)
+	if len(vTop) != 2 {
+		t.Errorf("value node should carry both labels: %v", vTop)
+	}
+}
+
+func TestRunNoPropagationWithoutSharedValues(t *testing.T) {
+	// Two columns with disjoint value sets: labels must not cross.
+	g := NewGraph(6, 2)
+	g.Seed(0, 0)
+	g.Seed(1, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(0, 3, 1)
+	g.AddEdge(1, 4, 1)
+	g.AddEdge(1, 5, 1)
+	res := g.Run(DefaultParams())
+	for _, ls := range res.TopLabels(0, 2) {
+		if ls.Label == 1 {
+			t.Errorf("label 1 leaked to disconnected column: %v", ls)
+		}
+	}
+}
+
+func TestRunTransitivity(t *testing.T) {
+	// A shares values with B, B with C, A and C share nothing directly.
+	// Transitivity (§3.2.2) should still give C some of A's label.
+	g := NewGraph(5, 3)
+	const a, b, c, vab, vbc = 0, 1, 2, 3, 4
+	g.Seed(a, 0)
+	g.Seed(b, 1)
+	g.Seed(c, 2)
+	g.AddEdge(a, vab, 1)
+	g.AddEdge(b, vab, 1)
+	g.AddEdge(b, vbc, 1)
+	g.AddEdge(c, vbc, 1)
+	res := g.Run(Params{Mu1: 1, Mu2: 1, Mu3: 1e-2, Iterations: 10, Beta: 2})
+	found := false
+	for _, ls := range res.TopLabels(c, 3) {
+		if ls.Label == 0 && ls.Score > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("A's label should transitively reach C: %v", res.TopLabels(c, 3))
+	}
+}
+
+func TestTopLabelsNormalisedAndBounded(t *testing.T) {
+	g := NewGraph(4, 2)
+	g.Seed(0, 0)
+	g.Seed(1, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(0, 3, 1)
+	res := g.Run(DefaultParams())
+	for v := 0; v < 4; v++ {
+		total := 0.0
+		for _, ls := range res.TopLabels(v, 10) {
+			if ls.Score < 0 || ls.Score > 1 {
+				t.Errorf("node %d: score %v out of [0,1]", v, ls.Score)
+			}
+			total += ls.Score
+		}
+		if total > 1+1e-9 {
+			t.Errorf("node %d: normalised scores sum to %v > 1", v, total)
+		}
+	}
+	if got := res.TopLabels(-1, 2); got != nil {
+		t.Errorf("out-of-range node: %v", got)
+	}
+	if got := res.TopLabels(0, 0); got != nil {
+		t.Errorf("y=0: %v", got)
+	}
+}
+
+func TestDummyLabelAbsorbsUnseededEvidence(t *testing.T) {
+	// An isolated unseeded node gets only the dummy label, so TopLabels
+	// returns nothing (the "none of the above" behaviour).
+	g := NewGraph(1, 1)
+	res := g.Run(DefaultParams())
+	if got := res.TopLabels(0, 5); len(got) != 0 {
+		t.Errorf("isolated unseeded node should have no real labels: %v", got)
+	}
+}
+
+func TestWalkProbabilitiesSumToOne(t *testing.T) {
+	g := NewGraph(5, 2)
+	g.Seed(0, 0)
+	g.Seed(1, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(1, 2, 3)
+	g.AddEdge(2, 3, 0.5)
+	pinj, pcont, pabnd := g.walkProbabilities(2)
+	for v := 0; v < 5; v++ {
+		sum := pinj[v] + pcont[v] + pabnd[v]
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("node %d: probabilities sum to %v", v, sum)
+		}
+		for _, p := range []float64{pinj[v], pcont[v], pabnd[v]} {
+			if p < 0 || p > 1 {
+				t.Errorf("node %d: probability %v out of range", v, p)
+			}
+		}
+	}
+	// Unseeded nodes never inject.
+	for _, v := range []int{2, 3, 4} {
+		if pinj[v] != 0 {
+			t.Errorf("unseeded node %d has pinj %v", v, pinj[v])
+		}
+	}
+}
+
+func TestEarlyStoppingTolerance(t *testing.T) {
+	g := NewGraph(3, 1)
+	g.Seed(0, 0)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	p := DefaultParams()
+	p.Iterations = 1000
+	p.Tolerance = 1e-12
+	// Must terminate quickly rather than running 1000 sweeps; correctness
+	// here is simply that it converges and returns.
+	res := g.Run(p)
+	if res == nil || len(res.Scores) != 3 {
+		t.Fatal("run did not complete")
+	}
+}

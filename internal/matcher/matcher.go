@@ -1,0 +1,81 @@
+// Package matcher defines Q's pluggable schema-matcher interface (paper
+// §3.2): a matcher proposes attribute alignments, each with a confidence in
+// [0,1], between a pair of relations. Q treats every matcher as a black box
+// — it consumes only (attribute, attribute, confidence) triples and turns
+// them into weighted association edges whose costs are then corrected
+// through feedback.
+//
+// Two complementary matchers ship with Q, mirroring the paper:
+//
+//   - matcher/meta: a metadata (schema-level) matcher standing in for
+//     COMA++ — name, structure and type features, pairwise per relation pair.
+//   - matcher/mad: the Modified Adsorption label-propagation matcher, which
+//     aggregates instance-level value overlap globally and transitively.
+package matcher
+
+import (
+	"sort"
+
+	"qint/internal/relstore"
+)
+
+// Alignment is one proposed attribute correspondence with a confidence
+// score in [0,1] (higher is more confident).
+type Alignment struct {
+	A, B       relstore.AttrRef
+	Confidence float64
+}
+
+// Matcher proposes alignments between the attributes of two relations.
+// Implementations may consult the catalog for instance data (the MAD
+// matcher does); metadata-only matchers ignore it beyond the schemas.
+type Matcher interface {
+	// Name identifies the matcher; it namespaces the confidence features on
+	// association edges ("matcher:<name>:binK").
+	Name() string
+	// Match returns candidate alignments between attributes of a and b,
+	// best-first. Implementations must return confidences in [0,1] and must
+	// be deterministic for fixed inputs.
+	Match(cat *relstore.Catalog, a, b *relstore.Relation) []Alignment
+}
+
+// TopYPerAttribute filters alignments to the Y most confident per distinct
+// left-side attribute (paper §3.2.3: "determine the top-Y candidate
+// alignments for each attribute"). Input order breaks confidence ties, so
+// deterministic matchers stay deterministic.
+func TopYPerAttribute(aligns []Alignment, y int) []Alignment {
+	if y <= 0 {
+		return nil
+	}
+	byAttr := make(map[relstore.AttrRef][]Alignment)
+	var order []relstore.AttrRef
+	for _, al := range aligns {
+		if _, ok := byAttr[al.A]; !ok {
+			order = append(order, al.A)
+		}
+		byAttr[al.A] = append(byAttr[al.A], al)
+	}
+	var out []Alignment
+	for _, a := range order {
+		group := byAttr[a]
+		sort.SliceStable(group, func(i, j int) bool { return group[i].Confidence > group[j].Confidence })
+		if len(group) > y {
+			group = group[:y]
+		}
+		out = append(out, group...)
+	}
+	return out
+}
+
+// SortByConfidence orders alignments best-first with a deterministic
+// tie-break on the attribute names.
+func SortByConfidence(aligns []Alignment) {
+	sort.SliceStable(aligns, func(i, j int) bool {
+		if aligns[i].Confidence != aligns[j].Confidence {
+			return aligns[i].Confidence > aligns[j].Confidence
+		}
+		ki := aligns[i].A.String() + "~" + aligns[i].B.String()
+		kj := aligns[j].A.String() + "~" + aligns[j].B.String()
+		return ki < kj
+	})
+}

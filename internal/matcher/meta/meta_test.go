@@ -1,0 +1,125 @@
+package meta
+
+import (
+	"testing"
+
+	"qint/internal/relstore"
+)
+
+func rel(source, name string, attrs ...relstore.Attribute) *relstore.Relation {
+	return &relstore.Relation{Source: source, Name: name, Attributes: attrs}
+}
+
+func attr(name string) relstore.Attribute { return relstore.Attribute{Name: name} }
+
+func TestMatchIdenticalNames(t *testing.T) {
+	m := New()
+	a := rel("ip", "entry", attr("entry_ac"), attr("name"))
+	b := rel("ip", "entry2pub", attr("entry_ac"), attr("pub_id"))
+	got := m.Match(nil, a, b)
+	if len(got) == 0 {
+		t.Fatal("expected alignments")
+	}
+	best := got[0]
+	if best.A.Attr != "entry_ac" || best.B.Attr != "entry_ac" {
+		t.Errorf("best alignment should be entry_ac↔entry_ac, got %v", best)
+	}
+	if best.Confidence < 0.8 {
+		t.Errorf("identical names should be confident, got %v", best.Confidence)
+	}
+}
+
+func TestMatchSubstringNames(t *testing.T) {
+	m := New()
+	a := rel("s1", "pub", attr("pub_id"), attr("title"))
+	b := rel("s2", "publication", attr("publication_id"), attr("title"))
+	got := m.Match(nil, a, b)
+	var foundID, foundTitle bool
+	for _, al := range got {
+		if al.A.Attr == "pub_id" && al.B.Attr == "publication_id" {
+			foundID = true
+		}
+		if al.A.Attr == "title" && al.B.Attr == "title" {
+			foundTitle = true
+		}
+	}
+	if !foundID {
+		t.Errorf("pub_id↔publication_id not proposed: %v", got)
+	}
+	if !foundTitle {
+		t.Errorf("title↔title not proposed: %v", got)
+	}
+}
+
+func TestMatchUnrelatedNamesSuppressed(t *testing.T) {
+	m := New()
+	a := rel("s1", "alpha", attr("xyzzy"))
+	b := rel("s2", "beta", attr("qwerty"))
+	if got := m.Match(nil, a, b); len(got) != 0 {
+		t.Errorf("unrelated attributes should not align: %v", got)
+	}
+}
+
+func TestMatchConfidenceBounds(t *testing.T) {
+	m := New()
+	a := rel("s1", "entry", attr("entry_ac"), attr("name"), attr("pub_id"))
+	b := rel("s2", "entry", attr("entry_ac"), attr("name"), attr("pub"))
+	for _, al := range m.Match(nil, a, b) {
+		if al.Confidence < 0 || al.Confidence > 1 {
+			t.Errorf("confidence %v out of [0,1] for %v", al.Confidence, al)
+		}
+		if al.Confidence < m.MinConfidence {
+			t.Errorf("alignment below floor emitted: %v", al)
+		}
+	}
+}
+
+func TestMatchTypeCompatibility(t *testing.T) {
+	m := New()
+	a := &relstore.Relation{Source: "s1", Name: "r1", Attributes: []relstore.Attribute{
+		{Name: "score", Type: relstore.TypeInt}}}
+	bSame := &relstore.Relation{Source: "s2", Name: "r2", Attributes: []relstore.Attribute{
+		{Name: "score", Type: relstore.TypeInt}}}
+	bText := &relstore.Relation{Source: "s3", Name: "r3", Attributes: []relstore.Attribute{
+		{Name: "score", Type: relstore.TypeString}}}
+	same := m.Match(nil, a, bSame)
+	text := m.Match(nil, a, bText)
+	if len(same) == 0 || len(text) == 0 {
+		t.Fatalf("both should align on name: same=%v text=%v", same, text)
+	}
+	if !(same[0].Confidence > text[0].Confidence) {
+		t.Errorf("matching types should raise confidence: %v vs %v",
+			same[0].Confidence, text[0].Confidence)
+	}
+}
+
+func TestMatchNilInputs(t *testing.T) {
+	m := New()
+	if got := m.Match(nil, nil, rel("s", "r", attr("a"))); got != nil {
+		t.Errorf("nil relation: %v", got)
+	}
+}
+
+func TestMatchDeterministic(t *testing.T) {
+	m := New()
+	a := rel("s1", "entry", attr("entry_ac"), attr("name"))
+	b := rel("s2", "entry2pub", attr("entry_ac"), attr("pub_id"))
+	first := m.Match(nil, a, b)
+	for i := 0; i < 5; i++ {
+		again := m.Match(nil, a, b)
+		if len(again) != len(first) {
+			t.Fatalf("nondeterministic length: %d vs %d", len(again), len(first))
+		}
+		for j := range again {
+			if again[j] != first[j] {
+				t.Fatalf("nondeterministic at %d: %v vs %v", j, again[j], first[j])
+			}
+		}
+	}
+}
+
+func TestName(t *testing.T) {
+	if New().Name() != "meta" {
+		t.Error("matcher name should be meta")
+	}
+}

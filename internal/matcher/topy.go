@@ -1,0 +1,115 @@
+package matcher
+
+import "qint/internal/relstore"
+
+// TopYExtractor implements the remove-and-re-run scheme of paper §3.2.3 for
+// matchers that only reveal their single best alignment per attribute:
+// "Between each pair of schemas, we can first compute the top alignment.
+// Next, for each alignment pair (A,B) that does not have a high confidence
+// level, remove attribute A and re-run the alignment, determining what the
+// 'next best' alignment with B would be (if any). Next re-insert A and
+// remove B, and repeat the process."
+//
+// Wrapping a matcher in a TopYExtractor turns its top-1 behaviour into
+// top-Y output; high-confidence alignments are left alone (the paper skips
+// them because an alternative will never be needed).
+type TopYExtractor struct {
+	// Base is the wrapped black-box matcher.
+	Base Matcher
+	// Y is how many candidate alignments per attribute to extract (≥ 1).
+	Y int
+	// HighConfidence is the threshold above which the top alignment is
+	// trusted outright and no alternatives are extracted.
+	HighConfidence float64
+}
+
+// NewTopYExtractor wraps base with the paper's defaults (Y=2, alternatives
+// extracted below confidence 0.95).
+func NewTopYExtractor(base Matcher) *TopYExtractor {
+	return &TopYExtractor{Base: base, Y: 2, HighConfidence: 0.95}
+}
+
+// Name implements Matcher; the wrapper is transparent for feature naming.
+func (x *TopYExtractor) Name() string { return x.Base.Name() }
+
+// Match implements Matcher.
+func (x *TopYExtractor) Match(cat *relstore.Catalog, a, b *relstore.Relation) []Alignment {
+	if a == nil || b == nil {
+		return nil
+	}
+	y := x.Y
+	if y < 1 {
+		y = 1
+	}
+
+	// Round 0: the black box's own output, reduced to its top alignment per
+	// A-side attribute (that is all a top-1 matcher would reveal).
+	out := TopYPerAttribute(x.Base.Match(cat, a, b), 1)
+	if y == 1 {
+		return out
+	}
+
+	seen := make(map[string]bool, len(out))
+	perAttr := make(map[relstore.AttrRef]int)
+	for _, al := range out {
+		seen[pairKey(al)] = true
+		perAttr[al.A]++
+	}
+
+	// Rounds 1..y-1: for every known low-confidence alignment (A,B), remove
+	// A and re-run to expose B's next-best partner, then remove B and
+	// re-run to expose A's.
+	frontier := out
+	for round := 1; round < y; round++ {
+		var discovered []Alignment
+		for _, al := range frontier {
+			if al.Confidence >= x.HighConfidence {
+				continue
+			}
+			// Remove A from a's schema; what does B align with now?
+			reducedA := withoutAttr(a, al.A.Attr)
+			for _, alt := range TopYPerAttribute(x.Base.Match(cat, reducedA, b), 1) {
+				if alt.B == al.B && !seen[pairKey(alt)] {
+					seen[pairKey(alt)] = true
+					discovered = append(discovered, alt)
+				}
+			}
+			// Re-insert A, remove B; what does A align with now?
+			reducedB := withoutAttr(b, al.B.Attr)
+			for _, alt := range TopYPerAttribute(x.Base.Match(cat, a, reducedB), 1) {
+				if alt.A == al.A && !seen[pairKey(alt)] {
+					seen[pairKey(alt)] = true
+					discovered = append(discovered, alt)
+				}
+			}
+		}
+		if len(discovered) == 0 {
+			break
+		}
+		// Respect the per-attribute budget.
+		kept := discovered[:0]
+		for _, al := range discovered {
+			if perAttr[al.A] < y {
+				perAttr[al.A]++
+				kept = append(kept, al)
+			}
+		}
+		out = append(out, kept...)
+		frontier = kept
+	}
+	SortByConfidence(out)
+	return out
+}
+
+func pairKey(al Alignment) string { return al.A.String() + "~" + al.B.String() }
+
+// withoutAttr returns a copy of rel lacking the named attribute.
+func withoutAttr(rel *relstore.Relation, attr string) *relstore.Relation {
+	out := &relstore.Relation{Source: rel.Source, Name: rel.Name}
+	for _, a := range rel.Attributes {
+		if a.Name != attr {
+			out.Attributes = append(out.Attributes, a)
+		}
+	}
+	return out
+}

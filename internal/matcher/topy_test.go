@@ -1,0 +1,115 @@
+package matcher
+
+import (
+	"testing"
+
+	"qint/internal/relstore"
+)
+
+// scriptedMatcher is a deterministic fake black box: it aligns attributes
+// with equal names at the given confidence, preferring earlier attributes
+// on ties — and, like a real top-1 matcher, callers only see its raw list.
+type scriptedMatcher struct {
+	// conf maps "aAttr~bAttr" to a confidence; pairs absent score 0.
+	conf map[string]float64
+}
+
+func (s *scriptedMatcher) Name() string { return "scripted" }
+
+func (s *scriptedMatcher) Match(_ *relstore.Catalog, a, b *relstore.Relation) []Alignment {
+	var out []Alignment
+	for _, aa := range a.Attributes {
+		for _, bb := range b.Attributes {
+			if c, ok := s.conf[aa.Name+"~"+bb.Name]; ok {
+				out = append(out, Alignment{
+					A:          relstore.AttrRef{Relation: a.QualifiedName(), Attr: aa.Name},
+					B:          relstore.AttrRef{Relation: b.QualifiedName(), Attr: bb.Name},
+					Confidence: c,
+				})
+			}
+		}
+	}
+	SortByConfidence(out)
+	return out
+}
+
+func rel2(source, name string, attrs ...string) *relstore.Relation {
+	r := &relstore.Relation{Source: source, Name: name}
+	for _, a := range attrs {
+		r.Attributes = append(r.Attributes, relstore.Attribute{Name: a})
+	}
+	return r
+}
+
+func TestTopYExtractorRevealsAlternatives(t *testing.T) {
+	// a.x aligns with b.p (0.6) and b.q (0.5); a.y aligns with b.p (0.4).
+	// A top-1 view shows only x→p and y→p. Removing x must reveal y as p's
+	// next-best; removing p must reveal x→q.
+	base := &scriptedMatcher{conf: map[string]float64{
+		"x~p": 0.6, "x~q": 0.5, "y~p": 0.4,
+	}}
+	a := rel2("s", "a", "x", "y")
+	b := rel2("s", "b", "p", "q")
+
+	x := NewTopYExtractor(base)
+	got := x.Match(nil, a, b)
+
+	want := map[string]bool{"x~p": true, "x~q": true, "y~p": true}
+	for _, al := range got {
+		key := al.A.Attr + "~" + al.B.Attr
+		if !want[key] {
+			t.Errorf("unexpected alignment %s", key)
+		}
+		delete(want, key)
+	}
+	for missing := range want {
+		t.Errorf("missing alignment %s", missing)
+	}
+}
+
+func TestTopYExtractorSkipsHighConfidence(t *testing.T) {
+	base := &scriptedMatcher{conf: map[string]float64{
+		"x~p": 0.99, "x~q": 0.5,
+	}}
+	a := rel2("s", "a", "x")
+	b := rel2("s", "b", "p", "q")
+	x := NewTopYExtractor(base)
+	got := x.Match(nil, a, b)
+	if len(got) != 1 || got[0].B.Attr != "p" {
+		t.Errorf("high-confidence top alignment should stand alone: %v", got)
+	}
+}
+
+func TestTopYExtractorYOne(t *testing.T) {
+	base := &scriptedMatcher{conf: map[string]float64{"x~p": 0.6, "x~q": 0.5}}
+	x := &TopYExtractor{Base: base, Y: 1, HighConfidence: 0.95}
+	got := x.Match(nil, rel2("s", "a", "x"), rel2("s", "b", "p", "q"))
+	if len(got) != 1 {
+		t.Errorf("Y=1 should return only the top alignment: %v", got)
+	}
+}
+
+func TestTopYExtractorBudget(t *testing.T) {
+	// Chain of decreasing alternatives for one attribute; budget must stop
+	// at Y even though more could be extracted.
+	base := &scriptedMatcher{conf: map[string]float64{
+		"x~p": 0.6, "x~q": 0.5, "x~r": 0.4, "x~s": 0.3,
+	}}
+	a := rel2("s", "a", "x")
+	b := rel2("s", "b", "p", "q", "r", "s")
+	x := &TopYExtractor{Base: base, Y: 2, HighConfidence: 0.95}
+	got := x.Match(nil, a, b)
+	if len(got) > 2 {
+		t.Errorf("Y=2 budget exceeded: %v", got)
+	}
+}
+
+func TestTopYExtractorNameAndNil(t *testing.T) {
+	x := NewTopYExtractor(&scriptedMatcher{})
+	if x.Name() != "scripted" {
+		t.Error("wrapper should be name-transparent")
+	}
+	if got := x.Match(nil, nil, rel2("s", "b", "p")); got != nil {
+		t.Errorf("nil relation: %v", got)
+	}
+}

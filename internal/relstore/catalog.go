@@ -1,0 +1,248 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qint/internal/text"
+)
+
+// Table couples a relation schema with its tuples. Row values are strings;
+// numeric attributes hold decimal representations.
+type Table struct {
+	Relation *Relation
+	Rows     [][]string
+}
+
+// NewTable constructs a table after validating the schema and row widths.
+func NewTable(rel *Relation, rows [][]string) (*Table, error) {
+	if err := rel.Validate(); err != nil {
+		return nil, err
+	}
+	for i, row := range rows {
+		if len(row) != len(rel.Attributes) {
+			return nil, fmt.Errorf("relstore: table %s row %d has %d values, want %d",
+				rel.QualifiedName(), i, len(row), len(rel.Attributes))
+		}
+	}
+	return &Table{Relation: rel, Rows: rows}, nil
+}
+
+// Column returns the values (with duplicates) of the named attribute.
+func (t *Table) Column(attr string) []string {
+	i := t.Relation.AttrIndex(attr)
+	if i < 0 {
+		return nil
+	}
+	col := make([]string, len(t.Rows))
+	for j, row := range t.Rows {
+		col[j] = row[i]
+	}
+	return col
+}
+
+// Catalog is the set of registered sources and their tables. It maintains
+// per-attribute distinct-value indexes (built lazily) used for value-overlap
+// filtering and MAD graph construction.
+//
+// Catalog is not safe for concurrent mutation; Q serialises registrations.
+type Catalog struct {
+	tables map[string]*Table // by qualified relation name
+	order  []string          // insertion order of qualified names
+
+	valueSets map[AttrRef]map[string]struct{} // lazily built distinct values
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		tables:    make(map[string]*Table),
+		valueSets: make(map[AttrRef]map[string]struct{}),
+	}
+}
+
+// AddTable registers a table. Registering a second table under the same
+// qualified relation name is an error: sources are immutable once added.
+func (c *Catalog) AddTable(t *Table) error {
+	qn := t.Relation.QualifiedName()
+	if _, exists := c.tables[qn]; exists {
+		return fmt.Errorf("relstore: relation %s already registered", qn)
+	}
+	c.tables[qn] = t
+	c.order = append(c.order, qn)
+	return nil
+}
+
+// Table returns the table registered under the qualified name, or nil.
+func (c *Catalog) Table(qualified string) *Table { return c.tables[qualified] }
+
+// Relation returns the schema registered under the qualified name, or nil.
+func (c *Catalog) Relation(qualified string) *Relation {
+	if t := c.tables[qualified]; t != nil {
+		return t.Relation
+	}
+	return nil
+}
+
+// Relations returns all relation schemas in registration order.
+func (c *Catalog) Relations() []*Relation {
+	out := make([]*Relation, 0, len(c.order))
+	for _, qn := range c.order {
+		out = append(out, c.tables[qn].Relation)
+	}
+	return out
+}
+
+// RelationNames returns all qualified relation names in registration order.
+func (c *Catalog) RelationNames() []string {
+	out := make([]string, len(c.order))
+	copy(out, c.order)
+	return out
+}
+
+// Sources returns the distinct source names, sorted.
+func (c *Catalog) Sources() []string {
+	set := make(map[string]struct{})
+	for _, qn := range c.order {
+		set[c.tables[qn].Relation.Source] = struct{}{}
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SourceRelations returns the relations belonging to one source, in
+// registration order.
+func (c *Catalog) SourceRelations(source string) []*Relation {
+	var out []*Relation
+	for _, qn := range c.order {
+		if r := c.tables[qn].Relation; r.Source == source {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// NumRelations returns the number of registered relations.
+func (c *Catalog) NumRelations() int { return len(c.order) }
+
+// NumAttributes returns the total attribute count across all relations.
+func (c *Catalog) NumAttributes() int {
+	n := 0
+	for _, qn := range c.order {
+		n += len(c.tables[qn].Relation.Attributes)
+	}
+	return n
+}
+
+// ValueSet returns the distinct values of the referenced attribute. The set
+// is computed once and cached; callers must not mutate it.
+func (c *Catalog) ValueSet(ref AttrRef) map[string]struct{} {
+	if vs, ok := c.valueSets[ref]; ok {
+		return vs
+	}
+	t := c.tables[ref.Relation]
+	if t == nil {
+		return nil
+	}
+	i := t.Relation.AttrIndex(ref.Attr)
+	if i < 0 {
+		return nil
+	}
+	vs := make(map[string]struct{})
+	for _, row := range t.Rows {
+		if v := row[i]; v != "" {
+			vs[v] = struct{}{}
+		}
+	}
+	c.valueSets[ref] = vs
+	return vs
+}
+
+// ValueOverlap returns the number of distinct values shared by two
+// attributes. This powers the Value Overlap Filter of Figure 7: attribute
+// pairs with zero overlap cannot join and need not be compared.
+func (c *Catalog) ValueOverlap(a, b AttrRef) int {
+	sa, sb := c.ValueSet(a), c.ValueSet(b)
+	if len(sa) > len(sb) {
+		sa, sb = sb, sa
+	}
+	n := 0
+	for v := range sa {
+		if _, ok := sb[v]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// ValueJaccard returns the Jaccard similarity of two attributes' distinct
+// value sets.
+func (c *Catalog) ValueJaccard(a, b AttrRef) float64 {
+	return text.Jaccard(c.ValueSet(a), c.ValueSet(b))
+}
+
+// ValueHit is one tuple-level keyword match: the attribute whose value
+// matched and the matching value itself.
+type ValueHit struct {
+	Ref   AttrRef
+	Value string
+	Rows  int // number of tuples carrying this value
+}
+
+// FindValues scans the catalog for distinct values that contain the keyword
+// (case-insensitive substring over normalised text). Q's query-graph
+// expansion uses this to lazily materialise value nodes for each keyword
+// (paper §2.2). Results are deterministic: sorted by attribute then value.
+func (c *Catalog) FindValues(keyword string) []ValueHit {
+	kw := text.Normalize(keyword)
+	if kw == "" {
+		return nil
+	}
+	var hits []ValueHit
+	for _, qn := range c.order {
+		t := c.tables[qn]
+		for ai, attr := range t.Relation.Attributes {
+			counts := make(map[string]int)
+			for _, row := range t.Rows {
+				v := row[ai]
+				if v == "" {
+					continue
+				}
+				if strings.Contains(text.Normalize(v), kw) {
+					counts[v]++
+				}
+			}
+			for v, n := range counts {
+				hits = append(hits, ValueHit{
+					Ref:   AttrRef{Relation: qn, Attr: attr.Name},
+					Value: v,
+					Rows:  n,
+				})
+			}
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Ref != hits[j].Ref {
+			return hits[i].Ref.String() < hits[j].Ref.String()
+		}
+		return hits[i].Value < hits[j].Value
+	})
+	return hits
+}
+
+// AttrRefs returns every attribute reference in the catalog, in registration
+// then declaration order.
+func (c *Catalog) AttrRefs() []AttrRef {
+	var out []AttrRef
+	for _, qn := range c.order {
+		for _, a := range c.tables[qn].Relation.Attributes {
+			out = append(out, AttrRef{Relation: qn, Attr: a.Name})
+		}
+	}
+	return out
+}

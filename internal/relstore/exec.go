@@ -1,0 +1,275 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+
+	"qint/internal/text"
+)
+
+// ResultSet holds the rows produced by executing one conjunctive query.
+// Columns follow the query's projection list.
+type ResultSet struct {
+	Columns []string
+	Rows    [][]string
+}
+
+// Execute evaluates a conjunctive query against the catalog using selection
+// push-down and hash joins. Atoms are joined in an order derived from the
+// query's join graph (connected traversal from the first atom); disconnected
+// atoms produce a cross product, as SQL semantics require.
+//
+// The executor materialises intermediate results; Q's queries are small
+// (Steiner trees over a handful of relations), so this is the right
+// simplicity/performance trade-off.
+func Execute(c *Catalog, q *ConjunctiveQuery) (*ResultSet, error) {
+	if err := q.Validate(c); err != nil {
+		return nil, err
+	}
+
+	// Per-alias selection conditions for push-down.
+	selByAlias := make(map[string][]SelCond)
+	for _, s := range q.Selects {
+		selByAlias[s.Alias] = append(selByAlias[s.Alias], s)
+	}
+
+	// Load and filter each atom's rows.
+	type boundAtom struct {
+		alias string
+		rel   *Relation
+		rows  [][]string
+	}
+	atoms := make([]boundAtom, len(q.Atoms))
+	for i, a := range q.Atoms {
+		t := c.Table(a.Relation)
+		rows := t.Rows
+		if sels := selByAlias[a.Alias]; len(sels) > 0 {
+			var kept [][]string
+			for _, row := range rows {
+				ok := true
+				for _, s := range sels {
+					ai := t.Relation.AttrIndex(s.Attr)
+					if !matchesSel(row[ai], s) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					kept = append(kept, row)
+				}
+			}
+			rows = kept
+		}
+		atoms[i] = boundAtom{alias: a.Alias, rel: t.Relation, rows: rows}
+	}
+
+	// Join order: traverse the join graph from atom 0, always joining the
+	// next atom connected to the already-joined set; fall back to cross
+	// product for disconnected components.
+	joined := map[string]bool{atoms[0].alias: true}
+	order := []int{0}
+	remaining := make(map[int]bool)
+	for i := 1; i < len(atoms); i++ {
+		remaining[i] = true
+	}
+	for len(remaining) > 0 {
+		next := -1
+		for i := range remaining {
+			if connectsTo(q.Joins, atoms[i].alias, joined) {
+				if next == -1 || i < next {
+					next = i
+				}
+			}
+		}
+		if next == -1 { // disconnected: take the lowest-index remaining atom
+			for i := range remaining {
+				if next == -1 || i < next {
+					next = i
+				}
+			}
+		}
+		order = append(order, next)
+		joined[atoms[next].alias] = true
+		delete(remaining, next)
+	}
+
+	// Incrementally build tuples. colOf maps alias.attr -> column index in
+	// the intermediate row.
+	colOf := make(map[string]int)
+	width := 0
+	bind := func(a boundAtom) {
+		for _, attr := range a.rel.Attributes {
+			colOf[a.alias+"."+attr.Name] = width
+			width++
+		}
+	}
+
+	first := atoms[order[0]]
+	bind(first)
+	current := make([][]string, len(first.rows))
+	for i, r := range first.rows {
+		row := make([]string, len(r))
+		copy(row, r)
+		current[i] = row
+	}
+
+	for _, oi := range order[1:] {
+		a := atoms[oi]
+		// Find join conditions between a and the already-bound aliases,
+		// split into equi-joins (hash) and similarity joins (filtered).
+		var pairs []joinPair
+		var simPairs []simJoinPair
+		for _, j := range q.Joins {
+			var lc, ri int
+			var ok bool
+			if j.LeftAlias == a.alias {
+				lc, ok = colOf[j.RightAlias+"."+j.RightAttr]
+				ri = a.rel.AttrIndex(j.LeftAttr)
+			} else if j.RightAlias == a.alias {
+				lc, ok = colOf[j.LeftAlias+"."+j.LeftAttr]
+				ri = a.rel.AttrIndex(j.RightAttr)
+			} else {
+				continue
+			}
+			if !ok {
+				continue
+			}
+			if j.Op == JoinSimilar {
+				simPairs = append(simPairs, simJoinPair{
+					joinPair:  joinPair{leftCol: lc, rightAttrIdx: ri},
+					threshold: j.Threshold,
+				})
+			} else {
+				pairs = append(pairs, joinPair{leftCol: lc, rightAttrIdx: ri})
+			}
+		}
+
+		simOK := func(cur, row []string) bool {
+			for _, p := range simPairs {
+				if text.TrigramSimilarity(
+					text.Normalize(cur[p.leftCol]),
+					text.Normalize(row[p.rightAttrIdx])) < p.threshold {
+					return false
+				}
+			}
+			return true
+		}
+
+		var next [][]string
+		if len(pairs) > 0 {
+			// Hash join on the concatenated equi-join values; similarity
+			// conditions filter the matches.
+			build := make(map[string][][]string)
+			for _, row := range a.rows {
+				key := joinKeyRight(row, pairs)
+				build[key] = append(build[key], row)
+			}
+			for _, cur := range current {
+				key := joinKeyLeft(cur, pairs)
+				for _, m := range build[key] {
+					if !simOK(cur, m) {
+						continue
+					}
+					merged := make([]string, 0, len(cur)+len(m))
+					merged = append(merged, cur...)
+					merged = append(merged, m...)
+					next = append(next, merged)
+				}
+			}
+		} else {
+			// Nested loop: a pure similarity join, or a cross product when
+			// no conditions connect the atom.
+			for _, cur := range current {
+				for _, row := range a.rows {
+					if !simOK(cur, row) {
+						continue
+					}
+					merged := make([]string, 0, len(cur)+len(row))
+					merged = append(merged, cur...)
+					merged = append(merged, row...)
+					next = append(next, merged)
+				}
+			}
+		}
+		bind(a)
+		current = next
+	}
+
+	// Project.
+	cols := make([]string, len(q.Project))
+	idx := make([]int, len(q.Project))
+	for i, p := range q.Project {
+		cols[i] = p.As
+		ci, ok := colOf[p.Alias+"."+p.Attr]
+		if !ok {
+			return nil, fmt.Errorf("relstore: projection %s.%s not bound", p.Alias, p.Attr)
+		}
+		idx[i] = ci
+	}
+	out := &ResultSet{Columns: cols}
+	seen := make(map[string]struct{})
+	for _, row := range current {
+		proj := make([]string, len(idx))
+		for i, ci := range idx {
+			proj[i] = row[ci]
+		}
+		key := fmt.Sprint(proj)
+		if _, dup := seen[key]; dup {
+			continue // set semantics on projected output
+		}
+		seen[key] = struct{}{}
+		out.Rows = append(out.Rows, proj)
+	}
+	sortRows(out.Rows)
+	return out, nil
+}
+
+func connectsTo(joins []JoinCond, alias string, joined map[string]bool) bool {
+	for _, j := range joins {
+		if j.LeftAlias == alias && joined[j.RightAlias] {
+			return true
+		}
+		if j.RightAlias == alias && joined[j.LeftAlias] {
+			return true
+		}
+	}
+	return false
+}
+
+// joinPair relates a column of the accumulated intermediate row to an
+// attribute index of the relation being joined in.
+type joinPair struct{ leftCol, rightAttrIdx int }
+
+// simJoinPair is a joinPair with a similarity threshold (JoinSimilar).
+type simJoinPair struct {
+	joinPair
+	threshold float64
+}
+
+func joinKeyLeft(row []string, pairs []joinPair) string {
+	key := ""
+	for _, p := range pairs {
+		key += row[p.leftCol] + "\x00"
+	}
+	return key
+}
+
+func joinKeyRight(row []string, pairs []joinPair) string {
+	key := ""
+	for _, p := range pairs {
+		key += row[p.rightAttrIdx] + "\x00"
+	}
+	return key
+}
+
+func sortRows(rows [][]string) {
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}

@@ -1,0 +1,70 @@
+package relstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// catalogSnapshot is the JSON wire form of a catalog. Table order is
+// preserved (registration order matters to consumers that iterate).
+type catalogSnapshot struct {
+	Version int         `json:"version"`
+	Tables  []tableSnap `json:"tables"`
+}
+
+type tableSnap struct {
+	Source      string       `json:"source"`
+	Name        string       `json:"name"`
+	Attributes  []Attribute  `json:"attributes"`
+	ForeignKeys []ForeignKey `json:"foreign_keys,omitempty"`
+	Rows        [][]string   `json:"rows"`
+}
+
+const catalogSnapshotVersion = 1
+
+// Save writes the catalog (schemas and data) as JSON.
+func (c *Catalog) Save(w io.Writer) error {
+	s := catalogSnapshot{Version: catalogSnapshotVersion}
+	for _, qn := range c.order {
+		t := c.tables[qn]
+		s.Tables = append(s.Tables, tableSnap{
+			Source:      t.Relation.Source,
+			Name:        t.Relation.Name,
+			Attributes:  t.Relation.Attributes,
+			ForeignKeys: t.Relation.ForeignKeys,
+			Rows:        t.Rows,
+		})
+	}
+	return json.NewEncoder(w).Encode(s)
+}
+
+// LoadCatalog reconstructs a catalog saved with Save. Tables are validated
+// on the way in, so a corrupted snapshot fails loudly rather than producing
+// a half-loaded catalog.
+func LoadCatalog(r io.Reader) (*Catalog, error) {
+	var s catalogSnapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("relstore: load catalog: %w", err)
+	}
+	if s.Version != catalogSnapshotVersion {
+		return nil, fmt.Errorf("relstore: unsupported catalog snapshot version %d", s.Version)
+	}
+	c := NewCatalog()
+	for i, ts := range s.Tables {
+		rel := &Relation{
+			Source:      ts.Source,
+			Name:        ts.Name,
+			Attributes:  ts.Attributes,
+			ForeignKeys: ts.ForeignKeys,
+		}
+		t, err := NewTable(rel, ts.Rows)
+		if err != nil {
+			return nil, fmt.Errorf("relstore: load catalog table %d: %w", i, err)
+		}
+		if err := c.AddTable(t); err != nil {
+			return nil, fmt.Errorf("relstore: load catalog table %d: %w", i, err)
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,61 @@
+package relstore
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCatalogSaveLoadRoundTrip(t *testing.T) {
+	c := testCatalog(t)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := LoadCatalog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.NumRelations() != c.NumRelations() || c2.NumAttributes() != c.NumAttributes() {
+		t.Fatalf("shape mismatch: %d/%d relations, %d/%d attributes",
+			c2.NumRelations(), c.NumRelations(), c2.NumAttributes(), c.NumAttributes())
+	}
+	// Registration order preserved.
+	a, b := c.RelationNames(), c2.RelationNames()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("order differs at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+	// Data and foreign keys survive.
+	tb := c2.Table("go.term")
+	if tb == nil || len(tb.Rows) != 3 {
+		t.Fatalf("go.term data lost: %+v", tb)
+	}
+	rel := c2.Relation("ip.interpro2go")
+	if rel == nil || len(rel.ForeignKeys) != 1 {
+		t.Errorf("foreign keys lost: %+v", rel)
+	}
+	// Value indexes work on the loaded catalog.
+	ov := c2.ValueOverlap(
+		AttrRef{Relation: "go.term", Attr: "acc"},
+		AttrRef{Relation: "ip.interpro2go", Attr: "go_id"})
+	if ov != 2 {
+		t.Errorf("overlap = %d, want 2", ov)
+	}
+}
+
+func TestLoadCatalogRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"nope",
+		`{"version": 9}`,
+		`{"version":1,"tables":[{"source":"s","name":"r","attributes":[{"Name":"a"}],"rows":[["x","too-wide"]]}]}`,
+		`{"version":1,"tables":[{"source":"s","name":"r","attributes":[{"Name":"a"}]},{"source":"s","name":"r","attributes":[{"Name":"a"}]}]}`,
+	}
+	for i, c := range cases {
+		if _, err := LoadCatalog(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}

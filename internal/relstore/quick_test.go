@@ -1,0 +1,173 @@
+package relstore
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestDisjointUnionProperties checks union invariants over randomized
+// branch sets: total row count is the sum of branch rows, output costs are
+// non-decreasing, every branch's columns appear in the unified schema, and
+// values land under their own column names.
+func TestDisjointUnionProperties(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nBranches := 1 + r.Intn(4)
+		branches := make([]Branch, nBranches)
+		totalRows := 0
+		for b := range branches {
+			nCols := 1 + r.Intn(3)
+			cols := make([]string, nCols)
+			for c := range cols {
+				cols[c] = fmt.Sprintf("col%d", r.Intn(5)) // overlapping names
+			}
+			// Column names must be unique within one branch.
+			seen := map[string]bool{}
+			for c := range cols {
+				for seen[cols[c]] {
+					cols[c] += "x"
+				}
+				seen[cols[c]] = true
+			}
+			nRows := r.Intn(4)
+			rows := make([][]string, nRows)
+			for i := range rows {
+				row := make([]string, nCols)
+				for c := range row {
+					row[c] = fmt.Sprintf("v%d-%d-%d", b, i, c)
+				}
+				rows[i] = row
+			}
+			totalRows += nRows
+			branches[b] = Branch{
+				Result:     &ResultSet{Columns: cols, Rows: rows},
+				Cost:       float64(r.Intn(10)) / 2,
+				Provenance: fmt.Sprintf("q%d", b),
+			}
+		}
+		u := DisjointUnion(branches)
+		if len(u.Rows) != totalRows {
+			return false
+		}
+		colIdx := make(map[string]int, len(u.Columns))
+		for i, c := range u.Columns {
+			if _, dup := colIdx[c]; dup {
+				return false // unified schema must not duplicate columns
+			}
+			colIdx[c] = i
+		}
+		for i := 1; i < len(u.Rows); i++ {
+			if u.Rows[i].Cost < u.Rows[i-1].Cost {
+				return false // ranking must be non-decreasing
+			}
+		}
+		// Every branch value must appear under its own column.
+		for b, br := range branches {
+			for ri, row := range br.Result.Rows {
+				found := false
+				for _, ur := range u.Rows {
+					if ur.Branch != b {
+						continue
+					}
+					match := true
+					for c, col := range br.Result.Columns {
+						if ur.Values[colIdx[col]] != row[c] {
+							match = false
+							break
+						}
+					}
+					if match {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Logf("branch %d row %d lost", b, ri)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExecuteJoinOrderInvariance: permuting atoms and flipping join sides
+// must not change the result set.
+func TestExecuteJoinOrderInvariance(t *testing.T) {
+	c := testCatalog(t)
+	base := &ConjunctiveQuery{
+		Atoms: []Atom{
+			{Relation: "go.term", Alias: "t"},
+			{Relation: "ip.interpro2go", Alias: "x"},
+			{Relation: "ip.entry", Alias: "e"},
+		},
+		Joins: []JoinCond{
+			{LeftAlias: "t", LeftAttr: "acc", RightAlias: "x", RightAttr: "go_id"},
+			{LeftAlias: "x", LeftAttr: "entry_ac", RightAlias: "e", RightAttr: "entry_ac"},
+		},
+		Project: []ProjCol{
+			{Alias: "t", Attr: "name", As: "term"},
+			{Alias: "e", Attr: "name", As: "entry"},
+		},
+	}
+	want, err := Execute(c, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	variants := []*ConjunctiveQuery{
+		{ // atoms reversed
+			Atoms: []Atom{base.Atoms[2], base.Atoms[1], base.Atoms[0]},
+			Joins: base.Joins, Project: base.Project,
+		},
+		{ // join sides flipped
+			Atoms: base.Atoms,
+			Joins: []JoinCond{
+				{LeftAlias: "x", LeftAttr: "go_id", RightAlias: "t", RightAttr: "acc"},
+				{LeftAlias: "e", LeftAttr: "entry_ac", RightAlias: "x", RightAttr: "entry_ac"},
+			},
+			Project: base.Project,
+		},
+		{ // joins reordered
+			Atoms:   base.Atoms,
+			Joins:   []JoinCond{base.Joins[1], base.Joins[0]},
+			Project: base.Project,
+		},
+	}
+	for i, v := range variants {
+		got, err := Execute(c, v)
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if fmt.Sprint(got.Rows) != fmt.Sprint(want.Rows) {
+			t.Errorf("variant %d differs:\nwant %v\ngot  %v", i, want.Rows, got.Rows)
+		}
+	}
+}
+
+// TestSignatureQuickProperties: signatures are alias-invariant and
+// join-side-invariant over random structures.
+func TestSignatureQuickProperties(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rel1 := fmt.Sprintf("s%d.r%d", r.Intn(3), r.Intn(3))
+		rel2 := fmt.Sprintf("s%d.r%d", r.Intn(3), r.Intn(3))
+		a := &ConjunctiveQuery{
+			Atoms: []Atom{{Relation: rel1, Alias: "a1"}, {Relation: rel2, Alias: "a2"}},
+			Joins: []JoinCond{{LeftAlias: "a1", LeftAttr: "x", RightAlias: "a2", RightAttr: "y"}},
+		}
+		b := &ConjunctiveQuery{
+			Atoms: []Atom{{Relation: rel2, Alias: "zz"}, {Relation: rel1, Alias: "qq"}},
+			Joins: []JoinCond{{LeftAlias: "zz", LeftAttr: "y", RightAlias: "qq", RightAttr: "x"}},
+		}
+		return a.Signature() == b.Signature()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

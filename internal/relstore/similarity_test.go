@@ -1,0 +1,151 @@
+package relstore
+
+import (
+	"strings"
+	"testing"
+)
+
+// simCatalog has two tables whose name columns overlap fuzzily, not exactly.
+func simCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	c := NewCatalog()
+	add := func(rel *Relation, rows [][]string) {
+		tb, err := NewTable(rel, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AddTable(tb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(&Relation{Source: "a", Name: "genes",
+		Attributes: []Attribute{{Name: "id"}, {Name: "name"}}},
+		[][]string{
+			{"G1", "insulin receptor"},
+			{"G2", "glucagon"},
+			{"G3", "somatostatin"},
+		})
+	add(&Relation{Source: "b", Name: "mentions",
+		Attributes: []Attribute{{Name: "doc"}, {Name: "gene_name"}}},
+		[][]string{
+			{"D1", "Insulin Receptor"}, // case/format variant
+			{"D2", "insulin recptor"},  // typo
+			{"D3", "glucagon precursor"},
+			{"D4", "unrelated protein"},
+		})
+	return c
+}
+
+func TestSimilarityJoin(t *testing.T) {
+	c := simCatalog(t)
+	q := &ConjunctiveQuery{
+		Atoms: []Atom{
+			{Relation: "a.genes", Alias: "g"},
+			{Relation: "b.mentions", Alias: "m"},
+		},
+		Joins: []JoinCond{{
+			LeftAlias: "g", LeftAttr: "name",
+			RightAlias: "m", RightAttr: "gene_name",
+			Op: JoinSimilar, Threshold: 0.7,
+		}},
+		Project: []ProjCol{
+			{Alias: "g", Attr: "id", As: "id"},
+			{Alias: "m", Attr: "doc", As: "doc"},
+		},
+	}
+	rs, err := Execute(c, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]bool)
+	for _, r := range rs.Rows {
+		got[r[0]+"-"+r[1]] = true
+	}
+	// Case variant and typo both join to G1; "unrelated protein" joins to
+	// nothing.
+	for _, want := range []string{"G1-D1", "G1-D2"} {
+		if !got[want] {
+			t.Errorf("missing fuzzy match %s; got %v", want, got)
+		}
+	}
+	for pair := range got {
+		if strings.HasSuffix(pair, "-D4") {
+			t.Errorf("D4 should not fuzzy-join: %v", got)
+		}
+	}
+}
+
+func TestSimilarityJoinThresholdOne(t *testing.T) {
+	c := simCatalog(t)
+	q := &ConjunctiveQuery{
+		Atoms: []Atom{
+			{Relation: "a.genes", Alias: "g"},
+			{Relation: "b.mentions", Alias: "m"},
+		},
+		Joins: []JoinCond{{
+			LeftAlias: "g", LeftAttr: "name",
+			RightAlias: "m", RightAttr: "gene_name",
+			Op: JoinSimilar, Threshold: 1.0,
+		}},
+		Project: []ProjCol{{Alias: "g", Attr: "id", As: "id"}, {Alias: "m", Attr: "doc", As: "doc"}},
+	}
+	rs, err := Execute(c, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Threshold 1 over normalised text: only the exact (case-insensitive)
+	// variant joins.
+	if len(rs.Rows) != 1 || rs.Rows[0][1] != "D1" {
+		t.Errorf("threshold 1.0 rows = %v, want only G1-D1", rs.Rows)
+	}
+}
+
+func TestSimilarityJoinMixedWithEquiJoin(t *testing.T) {
+	c := simCatalog(t)
+	// Add a link table joining genes by id AND mentions fuzzily.
+	tb, err := NewTable(&Relation{Source: "a", Name: "aliases",
+		Attributes: []Attribute{{Name: "gene_id"}, {Name: "alias"}}},
+		[][]string{{"G1", "insulin receptor isoform"}, {"G2", "glucagon"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTable(tb); err != nil {
+		t.Fatal(err)
+	}
+	q := &ConjunctiveQuery{
+		Atoms: []Atom{
+			{Relation: "a.genes", Alias: "g"},
+			{Relation: "a.aliases", Alias: "al"},
+		},
+		Joins: []JoinCond{
+			{LeftAlias: "g", LeftAttr: "id", RightAlias: "al", RightAttr: "gene_id"}, // equi
+			{LeftAlias: "g", LeftAttr: "name", RightAlias: "al", RightAttr: "alias",
+				Op: JoinSimilar, Threshold: 0.6}, // fuzzy filter on top
+		},
+		Project: []ProjCol{{Alias: "g", Attr: "id", As: "id"}},
+	}
+	rs, err := Execute(c, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]bool)
+	for _, r := range rs.Rows {
+		got[r[0]] = true
+	}
+	if !got["G2"] { // exact alias
+		t.Errorf("G2 should survive both joins: %v", rs.Rows)
+	}
+}
+
+func TestSimilarityJoinSQLRendering(t *testing.T) {
+	q := &ConjunctiveQuery{
+		Atoms: []Atom{{Relation: "a.genes", Alias: "g"}, {Relation: "b.mentions", Alias: "m"}},
+		Joins: []JoinCond{{LeftAlias: "g", LeftAttr: "name",
+			RightAlias: "m", RightAttr: "gene_name", Op: JoinSimilar, Threshold: 0.8}},
+		Project: []ProjCol{{Alias: "g", Attr: "id", As: "id"}},
+	}
+	sql := q.SQL()
+	if !strings.Contains(sql, "similarity(g.name, m.gene_name) >= 0.80") {
+		t.Errorf("similarity join not rendered: %s", sql)
+	}
+}

@@ -1,0 +1,156 @@
+package searchgraph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"qint/internal/learning"
+	"qint/internal/relstore"
+	"qint/internal/steiner"
+)
+
+// snapshot is the JSON wire form of a search graph. Node and edge order is
+// preserved exactly so steiner ids remain stable across a save/load cycle
+// (views serialised elsewhere can keep referring to them).
+type snapshot struct {
+	Version int                `json:"version"`
+	Weights map[string]float64 `json:"weights"`
+	Nodes   []snapNode         `json:"nodes"`
+	Edges   []snapEdge         `json:"edges"`
+}
+
+type snapNode struct {
+	Kind  int    `json:"kind"`
+	Rel   string `json:"rel,omitempty"`
+	Ref   string `json:"ref,omitempty"`
+	Value string `json:"value,omitempty"`
+}
+
+type snapEdge struct {
+	Kind     int                `json:"kind"`
+	U        int                `json:"u"`
+	V2       int                `json:"v"`
+	Fixed    bool               `json:"fixed,omitempty"`
+	Features map[string]float64 `json:"features,omitempty"`
+	A        string             `json:"a,omitempty"`
+	B        string             `json:"b,omitempty"`
+}
+
+const snapshotVersion = 1
+
+// Save writes the graph (topology, features, weights) as JSON. Keyword
+// activation state is not persisted: loaded graphs start with all keyword
+// edges disabled, exactly like freshly created ones.
+func (g *Graph) Save(w io.Writer) error {
+	s := snapshot{Version: snapshotVersion, Weights: g.weights}
+	for _, n := range g.nodes {
+		sn := snapNode{Kind: int(n.Kind), Rel: n.Rel, Value: n.Value}
+		if n.Ref != (relstore.AttrRef{}) {
+			sn.Ref = n.Ref.String()
+		}
+		s.Nodes = append(s.Nodes, sn)
+	}
+	for _, e := range g.edges {
+		ge := g.G.Edge(e.ID)
+		se := snapEdge{
+			Kind:  int(e.Kind),
+			U:     int(ge.U),
+			V2:    int(ge.V),
+			Fixed: e.Fixed,
+		}
+		if e.Features != nil {
+			se.Features = e.Features
+		}
+		if e.A != (relstore.AttrRef{}) {
+			se.A = e.A.String()
+		}
+		if e.B != (relstore.AttrRef{}) {
+			se.B = e.B.String()
+		}
+		s.Edges = append(s.Edges, se)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(s)
+}
+
+// Load reconstructs a graph saved with Save. The returned graph has
+// identical node/edge ids, features, weights and costs (keyword edges
+// disabled until activated).
+func Load(r io.Reader) (*Graph, error) {
+	var s snapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("searchgraph: load: %w", err)
+	}
+	if s.Version != snapshotVersion {
+		return nil, fmt.Errorf("searchgraph: unsupported snapshot version %d", s.Version)
+	}
+	g := New(learning.Vector(s.Weights))
+
+	for i, sn := range s.Nodes {
+		n := Node{Kind: NodeKind(sn.Kind), Rel: sn.Rel, Value: sn.Value}
+		if sn.Ref != "" {
+			ref, err := relstore.ParseAttrRef(sn.Ref)
+			if err != nil {
+				return nil, fmt.Errorf("searchgraph: load node %d: %w", i, err)
+			}
+			n.Ref = ref
+		}
+		id := g.addNode(n)
+		switch n.Kind {
+		case KindRelation:
+			g.relNode[n.Rel] = id
+		case KindAttribute:
+			g.attrNode[n.Ref] = id
+		case KindValue:
+			g.valNode[valueKey{ref: n.Ref, value: n.Value}] = id
+		case KindKeyword:
+			g.kwNode[n.Value] = id
+		}
+	}
+
+	for i, se := range s.Edges {
+		if se.U < 0 || se.U >= len(s.Nodes) || se.V2 < 0 || se.V2 >= len(s.Nodes) {
+			return nil, fmt.Errorf("searchgraph: load edge %d: endpoint out of range", i)
+		}
+		e := Edge{
+			Kind:  EdgeKind(se.Kind),
+			Fixed: se.Fixed,
+		}
+		if se.Features != nil {
+			e.Features = learning.Vector(se.Features)
+		}
+		if se.A != "" {
+			ref, err := relstore.ParseAttrRef(se.A)
+			if err != nil {
+				return nil, fmt.Errorf("searchgraph: load edge %d: %w", i, err)
+			}
+			e.A = ref
+		}
+		if se.B != "" {
+			ref, err := relstore.ParseAttrRef(se.B)
+			if err != nil {
+				return nil, fmt.Errorf("searchgraph: load edge %d: %w", i, err)
+			}
+			e.B = ref
+		}
+		id := g.addEdge(steiner.NodeID(se.U), steiner.NodeID(se.V2), e)
+		switch e.Kind {
+		case EdgeAssociation:
+			ka, kb := e.A.String(), e.B.String()
+			if kb < ka {
+				ka, kb = kb, ka
+			}
+			g.assocSeen[ka+"~"+kb] = id
+		case EdgeKeyword:
+			kw := steiner.NodeID(se.U)
+			if g.nodes[kw].Kind != KindKeyword {
+				kw = steiner.NodeID(se.V2)
+			}
+			g.kwEdgesOf[kw] = append(g.kwEdgesOf[kw], id)
+			g.G.SetCost(id, DisabledEdgeCost)
+		}
+	}
+	return g, nil
+}

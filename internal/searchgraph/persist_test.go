@@ -1,0 +1,124 @@
+package searchgraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"qint/internal/learning"
+	"qint/internal/steiner"
+)
+
+// buildRichGraph creates a graph exercising every node and edge kind.
+func buildRichGraph() *Graph {
+	g := New(learning.Vector{"default": 0.1, "fk": 0.9, "mismatch": 1})
+	g.AddForeignKeyEdge(ref("ip.entry2pub", "entry_ac"), ref("ip.entry", "entry_ac"))
+	g.AddAssociationEdge(ref("go.term", "acc"), ref("ip.interpro2go", "go_id"),
+		learning.Vector{"matcher:mad:bin4": 1})
+	vn := g.ValueNode(ref("go.term", "name"), "plasma membrane")
+	kw := g.KeywordNode("membrane")
+	g.AddKeywordEdge(kw, vn, 0.8)
+	return g
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g := buildRichGraph()
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("size mismatch: %d/%d nodes, %d/%d edges",
+			g2.NumNodes(), g.NumNodes(), g2.NumEdges(), g.NumEdges())
+	}
+	// Node identities and lookups survive.
+	for i := 0; i < g.NumNodes(); i++ {
+		a, b := g.Node(steiner.NodeID(i)), g2.Node(steiner.NodeID(i))
+		if a.Kind != b.Kind || a.Label() != b.Label() {
+			t.Errorf("node %d: %v vs %v", i, a.Label(), b.Label())
+		}
+	}
+	if g2.LookupRelation("ip.entry") < 0 {
+		t.Error("relation lookup lost")
+	}
+	if g2.LookupAttribute(ref("go.term", "acc")) < 0 {
+		t.Error("attribute lookup lost")
+	}
+	if !g2.HasAssociation(ref("go.term", "acc"), ref("ip.interpro2go", "go_id")) {
+		t.Error("association registry lost")
+	}
+	// Costs match edge-for-edge (keyword edges disabled on both sides
+	// until activated).
+	for i := 0; i < g.NumEdges(); i++ {
+		id := steiner.EdgeID(i)
+		if g.Edge(id).Kind == EdgeKeyword {
+			if g2.Cost(id) != DisabledEdgeCost {
+				t.Errorf("keyword edge %d should load disabled", i)
+			}
+			continue
+		}
+		if g.Cost(id) != g2.Cost(id) {
+			t.Errorf("edge %d cost %v vs %v", i, g.Cost(id), g2.Cost(id))
+		}
+	}
+	// Keyword activation works after load.
+	kw := g2.kwNode["membrane"]
+	g2.ActivateKeywords([]steiner.NodeID{kw})
+	for _, id := range g2.kwEdgesOf[kw] {
+		if g2.Cost(id) >= DisabledEdgeCost {
+			t.Errorf("keyword edge %d still disabled after activation", id)
+		}
+	}
+	// Weights survive.
+	if g2.Weights()["fk"] != 0.9 {
+		t.Errorf("weights lost: %v", g2.Weights())
+	}
+}
+
+func TestSaveLoadSecondGeneration(t *testing.T) {
+	// Load → mutate → save → load again: ids must stay stable.
+	g := buildRichGraph()
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2.AddAssociationEdge(ref("ip.pub", "title"), ref("ip.entry", "name"),
+		learning.Vector{"matcher:meta:bin2": 1})
+	var buf2 bytes.Buffer
+	if err := g2.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	g3, err := Load(&buf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3.NumEdges() != g2.NumEdges() {
+		t.Fatalf("edge count drift: %d vs %d", g3.NumEdges(), g2.NumEdges())
+	}
+	if len(g3.AssociationList()) != 2 {
+		t.Errorf("associations = %d, want 2", len(g3.AssociationList()))
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not json",
+		`{"version": 99}`,
+		`{"version":1,"nodes":[{"kind":0}],"edges":[{"kind":1,"u":0,"v":5}]}`,
+		`{"version":1,"nodes":[{"kind":1,"ref":"malformed"}],"edges":[]}`,
+	}
+	for i, c := range cases {
+		if _, err := Load(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}

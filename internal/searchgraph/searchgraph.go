@@ -1,0 +1,661 @@
+// Package searchgraph implements Q's unified data model (paper §2.1, §3.1):
+// a graph whose nodes are relations, attributes, data values and query
+// keywords, and whose edges carry sparse feature vectors from which costs
+// are derived as cost = w·f (Equation 1). Zero-cost structural edges
+// (attribute↔relation, value↔attribute) are pinned; foreign-key and
+// association edges are learnable; keyword edges are added per query.
+package searchgraph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"qint/internal/learning"
+	"qint/internal/relstore"
+	"qint/internal/steiner"
+)
+
+// NodeKind classifies search-graph nodes.
+type NodeKind int
+
+const (
+	// KindRelation nodes represent tables (rounded rectangles in Fig. 2).
+	KindRelation NodeKind = iota
+	// KindAttribute nodes represent columns (ellipses in Fig. 2).
+	KindAttribute
+	// KindValue nodes represent individual data values, materialised lazily
+	// during query-graph expansion.
+	KindValue
+	// KindKeyword nodes represent query keywords (bold italics in Fig. 3).
+	KindKeyword
+)
+
+// String names the kind for logs.
+func (k NodeKind) String() string {
+	switch k {
+	case KindRelation:
+		return "relation"
+	case KindAttribute:
+		return "attribute"
+	case KindValue:
+		return "value"
+	default:
+		return "keyword"
+	}
+}
+
+// EdgeKind classifies search-graph edges.
+type EdgeKind int
+
+const (
+	// EdgeAttrRel links an attribute to its relation at fixed zero cost.
+	EdgeAttrRel EdgeKind = iota
+	// EdgeForeignKey links two relations joined by a declared foreign key,
+	// initialised to the default foreign-key cost.
+	EdgeForeignKey
+	// EdgeAssociation links two attributes proposed as aligned by a schema
+	// matcher (or hand-coded).
+	EdgeAssociation
+	// EdgeKeyword links a keyword node to a matching schema element or value.
+	EdgeKeyword
+	// EdgeValueAttr links a value node to its attribute at fixed zero cost.
+	EdgeValueAttr
+	// EdgeMapping links a mediated-schema attribute to a candidate source
+	// attribute. Mapping edges carry learnable features like associations,
+	// but they are never traversable by Steiner search (their graph cost is
+	// pinned to DisabledEdgeCost): they rank mapping choices, they do not
+	// join relations.
+	EdgeMapping
+)
+
+// String names the edge kind for logs.
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeAttrRel:
+		return "attr-rel"
+	case EdgeForeignKey:
+		return "foreign-key"
+	case EdgeAssociation:
+		return "association"
+	case EdgeKeyword:
+		return "keyword"
+	case EdgeMapping:
+		return "mapping"
+	default:
+		return "value-attr"
+	}
+}
+
+// Node is one search-graph node. Exactly one of the payload fields is
+// meaningful depending on Kind.
+type Node struct {
+	ID    steiner.NodeID
+	Kind  NodeKind
+	Rel   string           // KindRelation: qualified relation name
+	Ref   relstore.AttrRef // KindAttribute / KindValue: owning attribute
+	Value string           // KindValue: the value; KindKeyword: the keyword
+}
+
+// Label returns a human-readable node label.
+func (n Node) Label() string {
+	switch n.Kind {
+	case KindRelation:
+		return n.Rel
+	case KindAttribute:
+		return n.Ref.String()
+	case KindValue:
+		return n.Ref.String() + "=" + n.Value
+	default:
+		return "kw:" + n.Value
+	}
+}
+
+// Edge is one search-graph edge with its learnable feature vector.
+type Edge struct {
+	ID       steiner.EdgeID
+	Kind     EdgeKind
+	Features learning.Vector // nil for fixed zero-cost edges
+	Fixed    bool            // pinned at zero cost (set A in Algorithm 4)
+	// A and B carry the joined attribute pair for EdgeForeignKey and
+	// EdgeAssociation edges; query generation turns them into equi-join
+	// conditions.
+	A, B relstore.AttrRef
+}
+
+// MinEdgeCost is the floor applied to learnable edge costs so Steiner-tree
+// computation stays meaningful even if the learner drives a weight
+// combination to (or below) zero mid-update.
+const MinEdgeCost = 1e-6
+
+// DisabledEdgeCost is the cost assigned to keyword edges whose keyword is
+// not part of the query being evaluated. Keyword nodes persist across
+// queries (views are long-lived), but a stale keyword node must never act
+// as a cheap bridge inside another query's Steiner tree.
+const DisabledEdgeCost = 1e12
+
+// Graph is the search graph. It owns an underlying steiner.Graph whose edge
+// costs it keeps synchronised with the current weight vector.
+type Graph struct {
+	G *steiner.Graph
+
+	nodes []Node
+	edges []Edge
+
+	relNode  map[string]steiner.NodeID
+	attrNode map[relstore.AttrRef]steiner.NodeID
+	valNode  map[valueKey]steiner.NodeID
+	kwNode   map[string]steiner.NodeID
+
+	// assocSeen prevents duplicate association edges between the same
+	// attribute pair from the same origin.
+	assocSeen map[string]steiner.EdgeID
+
+	// kwEdgesOf indexes keyword edges by their keyword node; activeKw holds
+	// the keyword nodes whose edges are currently live (see
+	// ActivateKeywords).
+	kwEdgesOf map[steiner.NodeID][]steiner.EdgeID
+	activeKw  map[steiner.NodeID]bool
+
+	weights learning.Vector
+}
+
+type valueKey struct {
+	ref   relstore.AttrRef
+	value string
+}
+
+// New returns an empty search graph with the given initial weights. The
+// weight vector is cloned; use SetWeights to replace it later.
+func New(weights learning.Vector) *Graph {
+	if weights == nil {
+		weights = learning.Vector{}
+	}
+	return &Graph{
+		G:         steiner.NewGraph(),
+		relNode:   make(map[string]steiner.NodeID),
+		attrNode:  make(map[relstore.AttrRef]steiner.NodeID),
+		valNode:   make(map[valueKey]steiner.NodeID),
+		kwNode:    make(map[string]steiner.NodeID),
+		assocSeen: make(map[string]steiner.EdgeID),
+		kwEdgesOf: make(map[steiner.NodeID][]steiner.EdgeID),
+		activeKw:  make(map[steiner.NodeID]bool),
+		weights:   weights.Clone(),
+	}
+}
+
+// Weights returns the current weight vector (not a copy).
+func (g *Graph) Weights() learning.Vector { return g.weights }
+
+// SetWeights replaces the weight vector and recomputes every learnable edge
+// cost.
+func (g *Graph) SetWeights(w learning.Vector) {
+	g.weights = w.Clone()
+	for i := range g.edges {
+		g.refreshCost(steiner.EdgeID(i))
+	}
+}
+
+// Cost returns the current cost of an edge.
+func (g *Graph) Cost(id steiner.EdgeID) float64 { return g.G.Edge(id).Cost }
+
+// EdgeCostFor computes what an edge's cost would be under an arbitrary
+// weight vector, without mutating the graph. Costs are quantised to 1e-9:
+// the dot product sums a map in iteration order, so the low bits of the
+// float result vary run to run, and unquantised costs would flip
+// tie-breaks in top-k tree selection nondeterministically.
+func (g *Graph) EdgeCostFor(id steiner.EdgeID, w learning.Vector) float64 {
+	e := g.edges[id]
+	if e.Fixed {
+		return 0
+	}
+	c := math.Round(w.Dot(e.Features)*1e9) / 1e9
+	if c < MinEdgeCost {
+		c = MinEdgeCost
+	}
+	return c
+}
+
+func (g *Graph) refreshCost(id steiner.EdgeID) {
+	if g.edges[id].Kind == EdgeMapping {
+		g.G.SetCost(id, DisabledEdgeCost)
+		return
+	}
+	if e := g.edges[id]; e.Kind == EdgeKeyword {
+		se := g.G.Edge(id)
+		kw := se.U
+		if g.nodes[kw].Kind != KindKeyword {
+			kw = se.V
+		}
+		if !g.activeKw[kw] {
+			g.G.SetCost(id, DisabledEdgeCost)
+			return
+		}
+	}
+	g.G.SetCost(id, g.EdgeCostFor(id, g.weights))
+}
+
+// Node returns the node with the given id.
+func (g *Graph) Node(id steiner.NodeID) Node { return g.nodes[id] }
+
+// Edge returns the search-graph edge metadata for an edge id.
+func (g *Graph) Edge(id steiner.EdgeID) Edge { return g.edges[id] }
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// addNode appends a node with a parallel steiner node.
+func (g *Graph) addNode(n Node) steiner.NodeID {
+	id := g.G.AddNode()
+	n.ID = id
+	g.nodes = append(g.nodes, n)
+	return id
+}
+
+// addEdge appends an edge with a parallel steiner edge at the right cost.
+func (g *Graph) addEdge(u, v steiner.NodeID, e Edge) steiner.EdgeID {
+	var cost float64
+	if !e.Fixed {
+		cost = math.Round(g.weights.Dot(e.Features)*1e9) / 1e9
+		if cost < MinEdgeCost {
+			cost = MinEdgeCost
+		}
+	}
+	id := g.G.AddEdge(u, v, cost)
+	e.ID = id
+	g.edges = append(g.edges, e)
+	return id
+}
+
+// RelationNode returns (and creates if needed) the node for a relation.
+func (g *Graph) RelationNode(qualified string) steiner.NodeID {
+	if id, ok := g.relNode[qualified]; ok {
+		return id
+	}
+	id := g.addNode(Node{Kind: KindRelation, Rel: qualified})
+	g.relNode[qualified] = id
+	return id
+}
+
+// LookupRelation returns the relation node id, or -1 if absent.
+func (g *Graph) LookupRelation(qualified string) steiner.NodeID {
+	if id, ok := g.relNode[qualified]; ok {
+		return id
+	}
+	return -1
+}
+
+// AttributeNode returns (and creates if needed) the node for an attribute,
+// wiring the fixed zero-cost attribute↔relation edge on creation.
+func (g *Graph) AttributeNode(ref relstore.AttrRef) steiner.NodeID {
+	if id, ok := g.attrNode[ref]; ok {
+		return id
+	}
+	id := g.addNode(Node{Kind: KindAttribute, Ref: ref})
+	g.attrNode[ref] = id
+	rel := g.RelationNode(ref.Relation)
+	g.addEdge(id, rel, Edge{Kind: EdgeAttrRel, Fixed: true})
+	return id
+}
+
+// LookupAttribute returns the attribute node id, or -1 if absent.
+func (g *Graph) LookupAttribute(ref relstore.AttrRef) steiner.NodeID {
+	if id, ok := g.attrNode[ref]; ok {
+		return id
+	}
+	return -1
+}
+
+// ValueNode returns (and creates if needed) the node for a data value,
+// wiring the fixed zero-cost value↔attribute edge on creation. Value nodes
+// are only materialised lazily for keyword matches (paper §2.1: "for
+// efficiency reasons we will add tuple nodes as needed").
+func (g *Graph) ValueNode(ref relstore.AttrRef, value string) steiner.NodeID {
+	k := valueKey{ref: ref, value: value}
+	if id, ok := g.valNode[k]; ok {
+		return id
+	}
+	id := g.addNode(Node{Kind: KindValue, Ref: ref, Value: value})
+	g.valNode[k] = id
+	attr := g.AttributeNode(ref)
+	g.addEdge(id, attr, Edge{Kind: EdgeValueAttr, Fixed: true})
+	return id
+}
+
+// KeywordNode returns (and creates if needed) the node for a query keyword.
+func (g *Graph) KeywordNode(keyword string) steiner.NodeID {
+	if id, ok := g.kwNode[keyword]; ok {
+		return id
+	}
+	id := g.addNode(Node{Kind: KindKeyword, Value: keyword})
+	g.kwNode[keyword] = id
+	return id
+}
+
+// AddForeignKeyEdge links two relation nodes with a learnable foreign-key
+// edge carrying the standard feature set. from and to are the joined
+// attribute pair declared by the foreign key.
+func (g *Graph) AddForeignKeyEdge(from, to relstore.AttrRef) steiner.EdgeID {
+	u := g.RelationNode(from.Relation)
+	v := g.RelationNode(to.Relation)
+	edgeKey := fmt.Sprintf("fk:%s->%s", from, to)
+	f := learning.Vector{
+		"default":              1,
+		"fk":                   1,
+		"rel:" + from.Relation: 1,
+		"rel:" + to.Relation:   1,
+		"edge:" + edgeKey:      1,
+	}
+	return g.addEdge(u, v, Edge{Kind: EdgeForeignKey, Features: f, A: from, B: to})
+}
+
+// AddAssociationEdge links two attribute nodes with a learnable association
+// edge. The features argument carries matcher-confidence bins; the standard
+// default/relation/edge indicators are added here. Adding the same pair
+// again merges the new features into the existing edge (a second matcher
+// endorsing the same alignment) and returns the existing id.
+func (g *Graph) AddAssociationEdge(a, b relstore.AttrRef, features learning.Vector) steiner.EdgeID {
+	ka, kb := a.String(), b.String()
+	if kb < ka {
+		a, b = b, a
+		ka, kb = kb, ka
+	}
+	pairKey := ka + "~" + kb
+	if id, ok := g.assocSeen[pairKey]; ok {
+		e := &g.edges[id]
+		mergeMatcherFeatures(e.Features, features)
+		g.refreshCost(id)
+		return id
+	}
+	features = features.Clone()
+	mergeMatcherFeatures(features, nil)
+	u := g.AttributeNode(a)
+	v := g.AttributeNode(b)
+	f := learning.Vector{
+		"default":           1,
+		"rel:" + a.Relation: 1,
+		"rel:" + b.Relation: 1,
+		"edge:" + pairKey:   1,
+	}
+	for k, x := range features {
+		f[k] = x
+	}
+	id := g.addEdge(u, v, Edge{Kind: EdgeAssociation, Features: f, A: a, B: b})
+	g.assocSeen[pairKey] = id
+	return id
+}
+
+// mergeMatcherFeatures merges src into dst with matcher-endorsement
+// semantics: a "matcher:<name>:binK" feature supersedes that matcher's
+// ":absent" marker (an endorsement cancels the no-endorsement penalty), and
+// when the same matcher endorses twice only the higher bin (more confident,
+// cheaper under the standard weights) is kept. Other features overwrite
+// key-wise. Passing nil src normalises dst in place under the same rules.
+func mergeMatcherFeatures(dst, src learning.Vector) {
+	for k, v := range src {
+		dst[k] = v
+	}
+	type best struct {
+		bin  int
+		key  string
+		seen bool
+	}
+	perMatcher := make(map[string]best)
+	for k := range dst {
+		name, bin, isBin := parseMatcherBin(k)
+		if !isBin {
+			continue
+		}
+		b := perMatcher[name]
+		if !b.seen || bin > b.bin {
+			if b.seen {
+				delete(dst, b.key)
+			}
+			perMatcher[name] = best{bin: bin, key: k, seen: true}
+		} else {
+			delete(dst, k)
+		}
+	}
+	for name := range perMatcher {
+		delete(dst, "matcher:"+name+":absent")
+	}
+}
+
+// parseMatcherBin recognises "matcher:<name>:bin<K>" feature keys.
+func parseMatcherBin(key string) (name string, bin int, ok bool) {
+	const prefix = "matcher:"
+	if !strings.HasPrefix(key, prefix) {
+		return "", 0, false
+	}
+	rest := key[len(prefix):]
+	i := strings.LastIndex(rest, ":bin")
+	if i < 0 {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(rest[i+4:])
+	if err != nil {
+		return "", 0, false
+	}
+	return rest[:i], n, true
+}
+
+// AddMappingEdge links a mediated attribute to a candidate source attribute
+// (see EdgeMapping). Re-adding the same pair merges features, as with
+// associations. The returned edge's graph cost is always DisabledEdgeCost;
+// rank mappings with EdgeCostFor instead.
+func (g *Graph) AddMappingEdge(mediatedAttr, source relstore.AttrRef, features learning.Vector) steiner.EdgeID {
+	pairKey := "map:" + mediatedAttr.String() + "~" + source.String()
+	if id, ok := g.assocSeen[pairKey]; ok {
+		e := &g.edges[id]
+		mergeMatcherFeatures(e.Features, features)
+		return id
+	}
+	features = features.Clone()
+	mergeMatcherFeatures(features, nil)
+	f := learning.Vector{
+		"default":                1,
+		"rel:" + source.Relation: 1,
+		"edge:" + pairKey:        1,
+	}
+	for k, x := range features {
+		f[k] = x
+	}
+	u := g.AttributeNode(mediatedAttr)
+	v := g.AttributeNode(source)
+	id := g.addEdge(u, v, Edge{Kind: EdgeMapping, Features: f, A: mediatedAttr, B: source})
+	g.G.SetCost(id, DisabledEdgeCost)
+	g.assocSeen[pairKey] = id
+	return id
+}
+
+// HasAssociation reports whether an association edge already exists between
+// the two attributes.
+func (g *Graph) HasAssociation(a, b relstore.AttrRef) bool {
+	ka, kb := a.String(), b.String()
+	if kb < ka {
+		ka, kb = kb, ka
+	}
+	_, ok := g.assocSeen[ka+"~"+kb]
+	return ok
+}
+
+// KwEdgeBaseWeight is the initial weight of each keyword edge's own
+// indicator feature — the starting value of the per-edge adjustable
+// weights w_2, w_3, … of the paper's Figure 3.
+const KwEdgeBaseWeight = 0.2
+
+// AddKeywordEdge links a keyword node to a target node with a learnable
+// keyword-match edge. sim is the keyword similarity score s_i (higher is
+// better); it enters the cost as a mismatch feature (1 − sim), so closer
+// matches cost less under a positive weight. Each keyword edge carries its
+// own indicator feature — the per-edge adjustable weights w_2, w_3, … of
+// Figure 3 — initialised to KwEdgeBaseWeight, so feedback can promote or
+// suppress one keyword match without touching the others. Keyword edges
+// deliberately do NOT share the global "default" feature: per-query match
+// edges sharing a weight with every other edge would let the learner
+// inflate all keyword costs at once, destroying the tight α radii that
+// VIEWBASEDALIGNER's pruning relies on (§3.3).
+func (g *Graph) AddKeywordEdge(kw steiner.NodeID, target steiner.NodeID, sim float64) steiner.EdgeID {
+	if sim < 0 {
+		sim = 0
+	}
+	if sim > 1 {
+		sim = 1
+	}
+	edgeFeat := "edge:kw:" + g.nodes[kw].Value + "->" + g.nodes[target].Label()
+	if _, ok := g.weights[edgeFeat]; !ok {
+		g.weights[edgeFeat] = KwEdgeBaseWeight
+	}
+	f := learning.Vector{
+		"mismatch": 1 - sim,
+		edgeFeat:   1,
+	}
+	id := g.addEdge(kw, target, Edge{Kind: EdgeKeyword, Features: f})
+	g.kwEdgesOf[kw] = append(g.kwEdgesOf[kw], id)
+	if !g.activeKw[kw] {
+		g.G.SetCost(id, DisabledEdgeCost)
+	}
+	return id
+}
+
+// ActivateKeywords enables exactly the given keyword nodes' edges for the
+// next Steiner computation, disabling every other keyword's edges. Call it
+// before each query-graph evaluation; the active set persists until the
+// next call.
+func (g *Graph) ActivateKeywords(keywords []steiner.NodeID) {
+	want := make(map[steiner.NodeID]bool, len(keywords))
+	for _, k := range keywords {
+		want[k] = true
+	}
+	// Disable edges of keywords leaving the active set.
+	for k := range g.activeKw {
+		if !want[k] {
+			for _, id := range g.kwEdgesOf[k] {
+				g.G.SetCost(id, DisabledEdgeCost)
+			}
+			delete(g.activeKw, k)
+		}
+	}
+	// Enable (recompute) edges of keywords entering it. Mark active first:
+	// refreshCost consults the active set.
+	for k := range want {
+		if !g.activeKw[k] {
+			g.activeKw[k] = true
+			for _, id := range g.kwEdgesOf[k] {
+				g.refreshCost(id)
+			}
+		}
+	}
+}
+
+// KeywordActive reports whether a keyword node's edges are currently live.
+func (g *Graph) KeywordActive(kw steiner.NodeID) bool { return g.activeKw[kw] }
+
+// Associations returns every association edge with its endpoints, sorted by
+// edge id, for evaluation against gold standards.
+type Association struct {
+	ID   steiner.EdgeID
+	A, B relstore.AttrRef
+	Cost float64
+}
+
+// AssociationList returns all association edges in id order.
+func (g *Graph) AssociationList() []Association {
+	var out []Association
+	for _, e := range g.edges {
+		if e.Kind != EdgeAssociation {
+			continue
+		}
+		se := g.G.Edge(e.ID)
+		na, nb := g.nodes[se.U], g.nodes[se.V]
+		out = append(out, Association{ID: e.ID, A: na.Ref, B: nb.Ref, Cost: se.Cost})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// EdgesOfKind returns the ids of all edges of the given kind, ascending.
+func (g *Graph) EdgesOfKind(kind EdgeKind) []steiner.EdgeID {
+	var out []steiner.EdgeID
+	for _, e := range g.edges {
+		if e.Kind == kind {
+			out = append(out, e.ID)
+		}
+	}
+	return out
+}
+
+// Stats summarises the graph for logs and tests.
+type Stats struct {
+	Relations, Attributes, Values, Keywords int
+	ByEdgeKind                              map[EdgeKind]int
+}
+
+// Summary computes node/edge counts by kind.
+func (g *Graph) Summary() Stats {
+	s := Stats{ByEdgeKind: make(map[EdgeKind]int)}
+	for _, n := range g.nodes {
+		switch n.Kind {
+		case KindRelation:
+			s.Relations++
+		case KindAttribute:
+			s.Attributes++
+		case KindValue:
+			s.Values++
+		default:
+			s.Keywords++
+		}
+	}
+	for _, e := range g.edges {
+		s.ByEdgeKind[e.Kind]++
+	}
+	return s
+}
+
+// Build constructs the initial search graph from catalog metadata: one
+// relation node per table, one attribute node per column (with its fixed
+// zero-cost edge), and one learnable foreign-key edge per declared foreign
+// key (paper §2.1).
+func Build(c *relstore.Catalog, weights learning.Vector) *Graph {
+	g := New(weights)
+	g.AddSource(c, "")
+	return g
+}
+
+// AddSource incorporates every relation of the catalog belonging to source
+// into the graph (all relations when source is empty). Used both at startup
+// and when a new source registers (paper §3.1: "the first step is to
+// incorporate each of its underlying tables into the search graph").
+func (g *Graph) AddSource(c *relstore.Catalog, source string) {
+	for _, rel := range c.Relations() {
+		if source != "" && rel.Source != source {
+			continue
+		}
+		qn := rel.QualifiedName()
+		g.RelationNode(qn)
+		for _, a := range rel.Attributes {
+			g.AttributeNode(relstore.AttrRef{Relation: qn, Attr: a.Name})
+		}
+	}
+	// Foreign keys second, so both endpoints exist.
+	for _, rel := range c.Relations() {
+		if source != "" && rel.Source != source {
+			continue
+		}
+		qn := rel.QualifiedName()
+		for _, fk := range rel.ForeignKeys {
+			if c.Relation(fk.ToRelation) == nil {
+				continue // dangling FK: target not registered yet
+			}
+			g.AddForeignKeyEdge(
+				relstore.AttrRef{Relation: qn, Attr: fk.FromAttr},
+				relstore.AttrRef{Relation: fk.ToRelation, Attr: fk.ToAttr},
+			)
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package searchgraph
+
+import (
+	"testing"
+
+	"qint/internal/learning"
+	"qint/internal/relstore"
+	"qint/internal/steiner"
+)
+
+func ref(rel, attr string) relstore.AttrRef {
+	return relstore.AttrRef{Relation: rel, Attr: attr}
+}
+
+func defaultWeights() learning.Vector {
+	return learning.Vector{"default": 1, "fk": 0.5, "kw": 0.1, "mismatch": 1}
+}
+
+func TestNodeCreationIdempotent(t *testing.T) {
+	g := New(defaultWeights())
+	r1 := g.RelationNode("ip.entry")
+	r2 := g.RelationNode("ip.entry")
+	if r1 != r2 {
+		t.Error("relation node should be created once")
+	}
+	a1 := g.AttributeNode(ref("ip.entry", "name"))
+	a2 := g.AttributeNode(ref("ip.entry", "name"))
+	if a1 != a2 {
+		t.Error("attribute node should be created once")
+	}
+	v1 := g.ValueNode(ref("ip.entry", "name"), "Kringle")
+	v2 := g.ValueNode(ref("ip.entry", "name"), "Kringle")
+	if v1 != v2 {
+		t.Error("value node should be created once")
+	}
+	k1 := g.KeywordNode("plasma")
+	k2 := g.KeywordNode("plasma")
+	if k1 != k2 {
+		t.Error("keyword node should be created once")
+	}
+	// relation + attribute + value + keyword
+	s := g.Summary()
+	if s.Relations != 1 || s.Attributes != 1 || s.Values != 1 || s.Keywords != 1 {
+		t.Errorf("summary = %+v", s)
+	}
+	// attr-rel and value-attr edges exist, both fixed zero cost
+	if s.ByEdgeKind[EdgeAttrRel] != 1 || s.ByEdgeKind[EdgeValueAttr] != 1 {
+		t.Errorf("structural edges missing: %+v", s.ByEdgeKind)
+	}
+}
+
+func TestStructuralEdgesAreZeroCost(t *testing.T) {
+	g := New(defaultWeights())
+	g.ValueNode(ref("ip.entry", "name"), "v")
+	for _, id := range g.EdgesOfKind(EdgeAttrRel) {
+		if g.Cost(id) != 0 {
+			t.Errorf("attr-rel edge cost = %v, want 0", g.Cost(id))
+		}
+	}
+	for _, id := range g.EdgesOfKind(EdgeValueAttr) {
+		if g.Cost(id) != 0 {
+			t.Errorf("value-attr edge cost = %v, want 0", g.Cost(id))
+		}
+	}
+}
+
+func TestForeignKeyEdgeCost(t *testing.T) {
+	g := New(defaultWeights())
+	id := g.AddForeignKeyEdge(ref("ip.entry2pub", "pub_id"), ref("ip.pub", "pub_id"))
+	// default(1) + fk(0.5); rel:* and edge:* features have no weight yet.
+	if got := g.Cost(id); got != 1.5 {
+		t.Errorf("fk cost = %v, want 1.5", got)
+	}
+	e := g.Edge(id)
+	if e.Kind != EdgeForeignKey || e.Fixed {
+		t.Errorf("edge meta wrong: %+v", e)
+	}
+	if e.Features["rel:ip.entry2pub"] != 1 || e.Features["rel:ip.pub"] != 1 {
+		t.Errorf("relation features missing: %v", e.Features)
+	}
+	if e.A != ref("ip.entry2pub", "pub_id") || e.B != ref("ip.pub", "pub_id") {
+		t.Errorf("FK attr pair not recorded: %+v", e)
+	}
+}
+
+func TestAssociationEdgeMergesFeatures(t *testing.T) {
+	g := New(defaultWeights())
+	a, b := ref("go.term", "acc"), ref("ip.interpro2go", "go_id")
+	id1 := g.AddAssociationEdge(a, b, learning.Vector{"matcher:mad:bin4": 1})
+	if !g.HasAssociation(a, b) || !g.HasAssociation(b, a) {
+		t.Error("HasAssociation should be symmetric")
+	}
+	// Same pair in flipped order merges rather than duplicating.
+	id2 := g.AddAssociationEdge(b, a, learning.Vector{"matcher:meta:bin3": 1})
+	if id1 != id2 {
+		t.Errorf("association duplicated: %d vs %d", id1, id2)
+	}
+	e := g.Edge(id1)
+	if e.Features["matcher:mad:bin4"] != 1 || e.Features["matcher:meta:bin3"] != 1 {
+		t.Errorf("features not merged: %v", e.Features)
+	}
+	if len(g.AssociationList()) != 1 {
+		t.Errorf("AssociationList = %v", g.AssociationList())
+	}
+}
+
+func TestKeywordEdgeMismatchScaling(t *testing.T) {
+	g := New(defaultWeights())
+	kw := g.KeywordNode("membrane")
+	attr := g.AttributeNode(ref("go.term", "name"))
+	perfect := g.AddKeywordEdge(kw, attr, 1.0)
+	poor := g.AddKeywordEdge(kw, attr, 0.2)
+	// Keyword edges are disabled until their keyword is activated.
+	if g.Cost(perfect) != DisabledEdgeCost {
+		t.Errorf("inactive keyword edge cost = %v, want disabled", g.Cost(perfect))
+	}
+	g.ActivateKeywords([]steiner.NodeID{kw})
+	if !g.KeywordActive(kw) {
+		t.Error("keyword should be active")
+	}
+	if !(g.Cost(perfect) < g.Cost(poor)) {
+		t.Errorf("perfect match should cost less: %v vs %v", g.Cost(perfect), g.Cost(poor))
+	}
+	// similarity clamped to [0,1]
+	clamped := g.AddKeywordEdge(kw, attr, 7)
+	if g.Cost(clamped) != g.Cost(perfect) {
+		t.Errorf("clamp broken: %v vs %v", g.Cost(clamped), g.Cost(perfect))
+	}
+	// Deactivation disables again, and SetWeights must not resurrect.
+	g.ActivateKeywords(nil)
+	g.SetWeights(defaultWeights())
+	if g.Cost(perfect) != DisabledEdgeCost {
+		t.Errorf("deactivated keyword edge cost = %v, want disabled", g.Cost(perfect))
+	}
+}
+
+func TestSetWeightsRecomputesCosts(t *testing.T) {
+	g := New(defaultWeights())
+	id := g.AddForeignKeyEdge(ref("a.r1", "x"), ref("a.r2", "y"))
+	before := g.Cost(id)
+	w := defaultWeights()
+	w["fk"] = 5
+	g.SetWeights(w)
+	after := g.Cost(id)
+	if after <= before {
+		t.Errorf("cost should rise: %v -> %v", before, after)
+	}
+	// Negative dot products floor at MinEdgeCost, not negative.
+	w["default"] = -100
+	g.SetWeights(w)
+	if got := g.Cost(id); got != MinEdgeCost {
+		t.Errorf("floored cost = %v, want %v", got, MinEdgeCost)
+	}
+}
+
+func TestEdgeCostForDoesNotMutate(t *testing.T) {
+	g := New(defaultWeights())
+	id := g.AddForeignKeyEdge(ref("a.r1", "x"), ref("a.r2", "y"))
+	before := g.Cost(id)
+	w := defaultWeights()
+	w["fk"] = 99
+	hyp := g.EdgeCostFor(id, w)
+	if hyp <= before {
+		t.Errorf("hypothetical cost should rise: %v", hyp)
+	}
+	if g.Cost(id) != before {
+		t.Error("EdgeCostFor must not mutate the graph")
+	}
+}
+
+func buildTestCatalog(t *testing.T) *relstore.Catalog {
+	t.Helper()
+	c := relstore.NewCatalog()
+	add := func(rel *relstore.Relation, rows [][]string) {
+		tb, err := relstore.NewTable(rel, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AddTable(tb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(&relstore.Relation{Source: "go", Name: "term",
+		Attributes: []relstore.Attribute{{Name: "acc"}, {Name: "name"}}}, nil)
+	add(&relstore.Relation{Source: "ip", Name: "interpro2go",
+		Attributes: []relstore.Attribute{{Name: "entry_ac"}, {Name: "go_id"}},
+		ForeignKeys: []relstore.ForeignKey{
+			{FromAttr: "entry_ac", ToRelation: "ip.entry", ToAttr: "entry_ac"},
+			{FromAttr: "go_id", ToRelation: "missing.rel", ToAttr: "x"}, // dangling
+		}}, nil)
+	add(&relstore.Relation{Source: "ip", Name: "entry",
+		Attributes: []relstore.Attribute{{Name: "entry_ac"}, {Name: "name"}}}, nil)
+	return c
+}
+
+func TestBuildFromCatalog(t *testing.T) {
+	c := buildTestCatalog(t)
+	g := Build(c, defaultWeights())
+	s := g.Summary()
+	if s.Relations != 3 {
+		t.Errorf("relations = %d, want 3", s.Relations)
+	}
+	if s.Attributes != 6 {
+		t.Errorf("attributes = %d, want 6", s.Attributes)
+	}
+	if s.ByEdgeKind[EdgeAttrRel] != 6 {
+		t.Errorf("attr-rel edges = %d, want 6", s.ByEdgeKind[EdgeAttrRel])
+	}
+	// one FK resolves, the dangling one is skipped
+	if s.ByEdgeKind[EdgeForeignKey] != 1 {
+		t.Errorf("fk edges = %d, want 1", s.ByEdgeKind[EdgeForeignKey])
+	}
+	if g.LookupRelation("ip.entry") < 0 {
+		t.Error("ip.entry node missing")
+	}
+	if g.LookupRelation("missing.rel") != -1 {
+		t.Error("dangling FK target should not create a node via Build")
+	}
+	if g.LookupAttribute(ref("go.term", "acc")) < 0 {
+		t.Error("go.term.acc node missing")
+	}
+	if g.LookupAttribute(ref("go.term", "ghost")) != -1 {
+		t.Error("unknown attribute should be -1")
+	}
+}
+
+func TestAddSourceIncremental(t *testing.T) {
+	c := buildTestCatalog(t)
+	g := New(defaultWeights())
+	g.AddSource(c, "go")
+	if g.Summary().Relations != 1 {
+		t.Fatalf("only go.term expected, got %+v", g.Summary())
+	}
+	g.AddSource(c, "ip")
+	s := g.Summary()
+	if s.Relations != 3 || s.ByEdgeKind[EdgeForeignKey] != 1 {
+		t.Errorf("after adding ip: %+v", s)
+	}
+}
+
+func TestNodeLabels(t *testing.T) {
+	g := New(nil)
+	rid := g.RelationNode("ip.pub")
+	if g.Node(rid).Label() != "ip.pub" {
+		t.Errorf("relation label = %q", g.Node(rid).Label())
+	}
+	aid := g.AttributeNode(ref("ip.pub", "title"))
+	if g.Node(aid).Label() != "ip.pub.title" {
+		t.Errorf("attribute label = %q", g.Node(aid).Label())
+	}
+	vid := g.ValueNode(ref("ip.pub", "title"), "Paper")
+	if g.Node(vid).Label() != "ip.pub.title=Paper" {
+		t.Errorf("value label = %q", g.Node(vid).Label())
+	}
+	kid := g.KeywordNode("pub")
+	if g.Node(kid).Label() != "kw:pub" {
+		t.Errorf("keyword label = %q", g.Node(kid).Label())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := map[string]string{
+		KindRelation.String():  "relation",
+		KindAttribute.String(): "attribute",
+		KindValue.String():     "value",
+		KindKeyword.String():   "keyword",
+	}
+	for got, want := range kinds {
+		if got != want {
+			t.Errorf("kind string %q != %q", got, want)
+		}
+	}
+	edgeKinds := []EdgeKind{EdgeAttrRel, EdgeForeignKey, EdgeAssociation, EdgeKeyword, EdgeValueAttr}
+	seen := make(map[string]bool)
+	for _, k := range edgeKinds {
+		if seen[k.String()] {
+			t.Errorf("duplicate edge kind string %q", k.String())
+		}
+		seen[k.String()] = true
+	}
+}

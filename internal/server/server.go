@@ -1,0 +1,366 @@
+// Package server exposes Q over HTTP+JSON: the registration service of
+// paper §3 ("Q includes a registration service for new tables and data
+// sources: this mechanism can be manually activated by the user ... or
+// could ultimately be triggered directly by a Web crawler"), plus keyword
+// querying and answer feedback, so crawlers and UIs can drive a long-lived
+// Q instance remotely.
+//
+// Endpoints (all JSON):
+//
+//	POST /sources            register a new source           (RegisterRequest)
+//	POST /query              create a persistent view        (QueryRequest)
+//	GET  /views              list views
+//	GET  /views/{id}         one view's ranked answers
+//	POST /views/{id}/feedback  mark an answer valid/invalid  (FeedbackRequest)
+//	GET  /associations       association edges with costs
+//	GET  /stats              catalog and graph statistics
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"qint/internal/core"
+	"qint/internal/relstore"
+)
+
+// Server wraps a Q instance behind a mutex (Q itself is single-writer) and
+// implements http.Handler.
+type Server struct {
+	mu    sync.Mutex
+	q     *core.Q
+	views []*core.View
+	mux   *http.ServeMux
+}
+
+// New wraps q. The caller should have registered matchers and initial
+// tables already.
+func New(q *core.Q) *Server {
+	s := &Server{q: q}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/sources", s.handleSources)
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/views", s.handleViews)
+	mux.HandleFunc("/views/", s.handleViewByID)
+	mux.HandleFunc("/associations", s.handleAssociations)
+	mux.HandleFunc("/stats", s.handleStats)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// TableSpec is the wire form of one table in a registration request.
+type TableSpec struct {
+	Name        string                `json:"name"`
+	Attributes  []string              `json:"attributes"`
+	ForeignKeys []relstore.ForeignKey `json:"foreign_keys,omitempty"`
+	Rows        [][]string            `json:"rows"`
+}
+
+// RegisterRequest registers one new source.
+type RegisterRequest struct {
+	Source   string      `json:"source"`
+	Tables   []TableSpec `json:"tables"`
+	Strategy string      `json:"strategy"` // exhaustive | viewbased | preferential
+}
+
+// RegisterResponse reports the outcome.
+type RegisterResponse struct {
+	Source          string             `json:"source"`
+	NewRelations    []string           `json:"new_relations"`
+	TargetsCompared []string           `json:"targets_compared"`
+	AttrComparisons int                `json:"attr_comparisons"`
+	Alignments      map[string]float64 `json:"alignments"`
+}
+
+// QueryRequest creates a view.
+type QueryRequest struct {
+	Q string `json:"q"`
+}
+
+// ViewSummary describes one persistent view.
+type ViewSummary struct {
+	ID       string   `json:"id"`
+	Keywords []string `json:"keywords"`
+	K        int      `json:"k"`
+	Alpha    float64  `json:"alpha"`
+	Answers  int      `json:"answers"`
+}
+
+// ViewAnswers carries a view's ranked rows.
+type ViewAnswers struct {
+	ViewSummary
+	Columns []string    `json:"columns"`
+	Rows    []AnswerRow `json:"rows"`
+}
+
+// AnswerRow is one ranked tuple.
+type AnswerRow struct {
+	Values     []string `json:"values"`
+	Cost       float64  `json:"cost"`
+	Provenance string   `json:"provenance"`
+}
+
+// FeedbackRequest annotates one answer of a view.
+type FeedbackRequest struct {
+	Row  int    `json:"row"`
+	Kind string `json:"kind"` // valid | invalid
+}
+
+func (s *Server) handleSources(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req RegisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad json: %v", err)
+		return
+	}
+	if req.Source == "" || len(req.Tables) == 0 {
+		httpError(w, http.StatusBadRequest, "source and tables required")
+		return
+	}
+	strategy, err := parseStrategy(req.Strategy)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	tables := make([]*relstore.Table, 0, len(req.Tables))
+	for _, ts := range req.Tables {
+		rel := &relstore.Relation{Source: req.Source, Name: ts.Name, ForeignKeys: ts.ForeignKeys}
+		for _, a := range ts.Attributes {
+			rel.Attributes = append(rel.Attributes, relstore.Attribute{Name: a})
+		}
+		t, err := relstore.NewTable(rel, ts.Rows)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "table %s: %v", ts.Name, err)
+			return
+		}
+		tables = append(tables, t)
+	}
+
+	s.mu.Lock()
+	report, err := s.q.RegisterSource(tables, strategy)
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, RegisterResponse{
+		Source:          report.Source,
+		NewRelations:    report.NewRelations,
+		TargetsCompared: report.TargetsCompared,
+		AttrComparisons: report.AttrComparisons,
+		Alignments:      report.AlignmentsByPair,
+	})
+}
+
+func parseStrategy(s string) (core.AlignStrategy, error) {
+	switch strings.ToLower(s) {
+	case "", "viewbased", "view-based":
+		return core.ViewBased, nil
+	case "exhaustive":
+		return core.Exhaustive, nil
+	case "preferential":
+		return core.Preferential, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q", s)
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad json: %v", err)
+		return
+	}
+	s.mu.Lock()
+	v, err := s.q.Query(req.Q)
+	if err == nil {
+		s.views = append(s.views, v)
+	}
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	resp := s.answersLocked(len(s.views)-1, v)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+func (s *Server) handleViews(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.Lock()
+	out := make([]ViewSummary, len(s.views))
+	for i, v := range s.views {
+		out[i] = s.summaryLocked(i, v)
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleViewByID(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/views/")
+	parts := strings.Split(rest, "/")
+	idx, err := parseViewID(parts[0])
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	ok := idx >= 0 && idx < len(s.views)
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no view %s", parts[0])
+		return
+	}
+
+	switch {
+	case len(parts) == 1 && r.Method == http.MethodGet:
+		s.mu.Lock()
+		resp := s.answersLocked(idx, s.views[idx])
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, resp)
+	case len(parts) == 2 && parts[1] == "feedback" && r.Method == http.MethodPost:
+		var req FeedbackRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad json: %v", err)
+			return
+		}
+		kind := core.FeedbackValid
+		switch strings.ToLower(req.Kind) {
+		case "valid":
+		case "invalid":
+			kind = core.FeedbackInvalid
+		default:
+			httpError(w, http.StatusBadRequest, "kind must be valid or invalid")
+			return
+		}
+		s.mu.Lock()
+		err := s.q.FeedbackRow(s.views[idx], req.Row, kind)
+		var resp ViewAnswers
+		if err == nil {
+			resp = s.answersLocked(idx, s.views[idx])
+		}
+		s.mu.Unlock()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	default:
+		httpError(w, http.StatusNotFound, "unknown view endpoint")
+	}
+}
+
+func parseViewID(s string) (int, error) {
+	if !strings.HasPrefix(s, "v") {
+		return 0, fmt.Errorf("view ids look like v0, v1, …")
+	}
+	return strconv.Atoi(s[1:])
+}
+
+func (s *Server) summaryLocked(idx int, v *core.View) ViewSummary {
+	return ViewSummary{
+		ID:       fmt.Sprintf("v%d", idx),
+		Keywords: v.Keywords,
+		K:        v.K,
+		Alpha:    v.Alpha,
+		Answers:  len(v.Result.Rows),
+	}
+}
+
+func (s *Server) answersLocked(idx int, v *core.View) ViewAnswers {
+	out := ViewAnswers{ViewSummary: s.summaryLocked(idx, v), Columns: v.Result.Columns}
+	for _, row := range v.Result.TopK(v.K) {
+		out.Rows = append(out.Rows, AnswerRow{
+			Values:     row.Values,
+			Cost:       row.Cost,
+			Provenance: row.Provenance,
+		})
+	}
+	return out
+}
+
+// AssociationInfo is the wire form of one association edge.
+type AssociationInfo struct {
+	A    string  `json:"a"`
+	B    string  `json:"b"`
+	Cost float64 `json:"cost"`
+}
+
+func (s *Server) handleAssociations(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.Lock()
+	list := s.q.Graph.AssociationList()
+	s.mu.Unlock()
+	out := make([]AssociationInfo, len(list))
+	for i, a := range list {
+		out[i] = AssociationInfo{A: a.A.String(), B: a.B.String(), Cost: a.Cost}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// StatsResponse summarises the running instance.
+type StatsResponse struct {
+	Relations  int            `json:"relations"`
+	Attributes int            `json:"attributes"`
+	Sources    []string       `json:"sources"`
+	Nodes      map[string]int `json:"nodes"`
+	Edges      map[string]int `json:"edges"`
+	Views      int            `json:"views"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.Lock()
+	sum := s.q.Graph.Summary()
+	resp := StatsResponse{
+		Relations:  s.q.Catalog.NumRelations(),
+		Attributes: s.q.Catalog.NumAttributes(),
+		Sources:    s.q.Catalog.Sources(),
+		Nodes: map[string]int{
+			"relation": sum.Relations, "attribute": sum.Attributes,
+			"value": sum.Values, "keyword": sum.Keywords,
+		},
+		Edges: make(map[string]int, len(sum.ByEdgeKind)),
+		Views: len(s.views),
+	}
+	for k, n := range sum.ByEdgeKind {
+		resp.Edges[k.String()] = n
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,122 @@
+package steiner
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Dist holds single-source shortest-path results. Unreachable nodes have
+// distance +Inf and Prev == -1.
+type Dist struct {
+	D    []float64
+	Prev []EdgeID // edge used to reach the node; -1 for source/unreachable
+}
+
+// Dijkstra computes shortest path costs from src to every node.
+func (g *Graph) Dijkstra(src NodeID) Dist {
+	n := g.NumNodes()
+	d := Dist{D: make([]float64, n), Prev: make([]EdgeID, n)}
+	for i := range d.D {
+		d.D[i] = math.Inf(1)
+		d.Prev[i] = -1
+	}
+	d.D[src] = 0
+	pq := &nodePQ{{node: src, cost: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(nodeItem)
+		if it.cost > d.D[it.node] {
+			continue
+		}
+		for _, eid := range g.adj[it.node] {
+			e := g.edges[eid]
+			to := g.Other(eid, it.node)
+			nd := it.cost + e.Cost
+			if nd < d.D[to] {
+				d.D[to] = nd
+				d.Prev[to] = eid
+				heap.Push(pq, nodeItem{node: to, cost: nd})
+			}
+		}
+	}
+	return d
+}
+
+// PathTo reconstructs the edges of the shortest path from the Dijkstra
+// source to node v (in reverse order of traversal). Returns nil when v is
+// the source or unreachable.
+func (g *Graph) PathTo(d Dist, v NodeID) []EdgeID {
+	if math.IsInf(d.D[v], 1) {
+		return nil
+	}
+	var path []EdgeID
+	for d.Prev[v] != -1 {
+		eid := d.Prev[v]
+		path = append(path, eid)
+		v = g.Other(eid, v)
+	}
+	return path
+}
+
+// Neighborhood returns the set of nodes whose shortest-path distance from
+// any of the given source nodes is at most alpha. This is the α-cost
+// neighbourhood GETCOSTNEIGHBORHOOD of Algorithm 2: any new-source node that
+// could join a Steiner tree of cost ≤ α must align with a node inside it.
+func (g *Graph) Neighborhood(sources []NodeID, alpha float64) map[NodeID]struct{} {
+	out := make(map[NodeID]struct{})
+	for _, s := range sources {
+		d := g.Dijkstra(s)
+		for v, dist := range d.D {
+			if dist <= alpha {
+				out[NodeID(v)] = struct{}{}
+			}
+		}
+	}
+	return out
+}
+
+// NeighborhoodIntersect returns the nodes within alpha of EVERY source — a
+// strictly tighter (and still sound) pruning region than Neighborhood:
+// every node of a Steiner tree of cost ≤ α lies, along tree paths of cost
+// ≤ α, within distance α of each terminal, so any node that could join
+// such a tree is in the intersection. Algorithm 2 as written unions
+// per-keyword neighbourhoods; the intersection refinement preserves its
+// same-top-k guarantee while pruning far more aggressively on large graphs.
+func (g *Graph) NeighborhoodIntersect(sources []NodeID, alpha float64) map[NodeID]struct{} {
+	out := make(map[NodeID]struct{})
+	for i, s := range sources {
+		d := g.Dijkstra(s)
+		if i == 0 {
+			for v, dist := range d.D {
+				if dist <= alpha {
+					out[NodeID(v)] = struct{}{}
+				}
+			}
+			continue
+		}
+		for v := range out {
+			if d.D[v] > alpha {
+				delete(out, v)
+			}
+		}
+	}
+	return out
+}
+
+type nodeItem struct {
+	node NodeID
+	cost float64
+}
+
+type nodePQ []nodeItem
+
+func (p nodePQ) Len() int            { return len(p) }
+func (p nodePQ) Less(i, j int) bool  { return p[i].cost < p[j].cost }
+func (p nodePQ) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *nodePQ) Push(x interface{}) { *p = append(*p, x.(nodeItem)) }
+func (p *nodePQ) Pop() interface{} {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	*p = old[:n-1]
+	return it
+}

@@ -1,0 +1,261 @@
+// Package text provides the string-similarity and information-retrieval
+// primitives used throughout Q: tokenisation and normalisation of schema
+// labels and data values, edit distance, character n-gram overlap, Jaccard
+// similarity, and a tf-idf vectoriser with cosine scoring.
+//
+// The keyword-to-node match scores s_i of the paper's query graph (Figure 3)
+// come from this package, as do the name-similarity components of the
+// metadata matcher.
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Normalize lower-cases s and collapses runs of non-alphanumeric characters
+// into single spaces. Schema labels such as "entry_ac", "entry-AC" and
+// "Entry AC" all normalise to "entry ac".
+func Normalize(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	prevSpace := true
+	for _, r := range s {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+			prevSpace = false
+		default:
+			if !prevSpace {
+				b.WriteByte(' ')
+				prevSpace = true
+			}
+		}
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// Tokenize splits s into normalised word tokens. CamelCase boundaries are
+// treated as separators so that "entryAc" tokenises to ["entry", "ac"].
+func Tokenize(s string) []string {
+	// Insert spaces at lower->upper camel boundaries before normalising.
+	var camel strings.Builder
+	camel.Grow(len(s) + 4)
+	runes := []rune(s)
+	for i, r := range runes {
+		if i > 0 && unicode.IsUpper(r) && unicode.IsLower(runes[i-1]) {
+			camel.WriteByte(' ')
+		}
+		camel.WriteRune(r)
+	}
+	n := Normalize(camel.String())
+	if n == "" {
+		return nil
+	}
+	return strings.Fields(n)
+}
+
+// IsNumeric reports whether s consists only of digits, signs, decimal points
+// and exponent markers — i.e. whether it looks like a number. The MAD graph
+// builder prunes numeric values because they induce spurious associations
+// between unrelated numeric columns (paper §5.2.1).
+func IsNumeric(s string) bool {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return false
+	}
+	seenDigit := false
+	for i, r := range s {
+		switch {
+		case r >= '0' && r <= '9':
+			seenDigit = true
+		case r == '+' || r == '-':
+			if i != 0 {
+				return false
+			}
+		case r == '.' || r == ',':
+			// decimal or thousands separator
+		case r == 'e' || r == 'E':
+			if !seenDigit {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return seenDigit
+}
+
+// EditDistance returns the Levenshtein distance between a and b, operating on
+// runes. It uses two rolling rows, O(min(len)) space.
+func EditDistance(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) < len(rb) {
+		ra, rb = rb, ra
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// EditSimilarity maps edit distance to a similarity in [0,1]:
+// 1 - dist/max(len). Identical strings score 1; disjoint strings approach 0.
+func EditSimilarity(a, b string) float64 {
+	la, lb := len([]rune(a)), len([]rune(b))
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	m := la
+	if lb > m {
+		m = lb
+	}
+	return 1 - float64(EditDistance(a, b))/float64(m)
+}
+
+// NGrams returns the multiset (as a count map) of character n-grams of s,
+// padded with (n-1) leading and trailing '#' markers so that prefixes and
+// suffixes contribute distinct grams.
+func NGrams(s string, n int) map[string]int {
+	if n <= 0 {
+		return nil
+	}
+	pad := strings.Repeat("#", n-1)
+	p := pad + s + pad
+	r := []rune(p)
+	grams := make(map[string]int)
+	for i := 0; i+n <= len(r); i++ {
+		grams[string(r[i:i+n])]++
+	}
+	return grams
+}
+
+// TrigramSimilarity is the Dice coefficient over character trigram multisets:
+// 2*|common| / (|A| + |B|).
+func TrigramSimilarity(a, b string) float64 {
+	return ngramSimilarity(a, b, 3)
+}
+
+func ngramSimilarity(a, b string, n int) float64 {
+	ga, gb := NGrams(a, n), NGrams(b, n)
+	ta, tb := 0, 0
+	for _, c := range ga {
+		ta += c
+	}
+	for _, c := range gb {
+		tb += c
+	}
+	if ta+tb == 0 {
+		return 0
+	}
+	common := 0
+	for g, ca := range ga {
+		if cb, ok := gb[g]; ok {
+			if cb < ca {
+				common += cb
+			} else {
+				common += ca
+			}
+		}
+	}
+	return 2 * float64(common) / float64(ta+tb)
+}
+
+// Jaccard returns |A∩B| / |A∪B| for two string sets. Empty∩empty is defined
+// as 1 (identical).
+func Jaccard(a, b map[string]struct{}) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	small, large := a, b
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	inter := 0
+	for v := range small {
+		if _, ok := large[v]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// ContainmentSimilarity scores how much the token sets of a and b overlap,
+// favouring substring containment: it is the max of token Jaccard and a
+// normalised longest-common-substring ratio. This approximates the
+// "substring matcher" component the paper uses from COMA++.
+func ContainmentSimilarity(a, b string) float64 {
+	na, nb := Normalize(a), Normalize(b)
+	if na == "" || nb == "" {
+		return 0
+	}
+	if na == nb {
+		return 1
+	}
+	j := tokenJaccard(na, nb)
+	c := containmentRatio(na, nb)
+	if c > j {
+		return c
+	}
+	return j
+}
+
+func tokenJaccard(a, b string) float64 {
+	sa := make(map[string]struct{})
+	for _, t := range strings.Fields(a) {
+		sa[t] = struct{}{}
+	}
+	sb := make(map[string]struct{})
+	for _, t := range strings.Fields(b) {
+		sb[t] = struct{}{}
+	}
+	return Jaccard(sa, sb)
+}
+
+// containmentRatio gives len(shorter)/len(longer) when one normalised string
+// contains the other as a substring (e.g. "pub" in "publication"), else 0.
+func containmentRatio(a, b string) float64 {
+	short, long := a, b
+	if len(short) > len(long) {
+		short, long = long, short
+	}
+	if strings.Contains(strings.ReplaceAll(long, " ", ""), strings.ReplaceAll(short, " ", "")) {
+		ls := len(strings.ReplaceAll(short, " ", ""))
+		ll := len(strings.ReplaceAll(long, " ", ""))
+		if ll == 0 {
+			return 0
+		}
+		return float64(ls) / float64(ll)
+	}
+	return 0
+}

@@ -1,0 +1,183 @@
+package text
+
+import (
+	"math"
+	"sort"
+)
+
+// Corpus is a tf-idf index over a collection of documents. Documents are
+// short strings (schema labels, data values); Q uses one Corpus over all
+// schema elements and indexed values to score keyword matches (paper §2.2:
+// "by default tf-idf").
+//
+// The zero value is not usable; construct with NewCorpus and call Add before
+// Score. Adding documents after the first Score call is permitted — idf is
+// recomputed lazily.
+type Corpus struct {
+	docs    []document
+	df      map[string]int // document frequency per term
+	byID    map[string]int // external id -> index in docs
+	dirty   bool
+	idf     map[string]float64
+	vectors []map[string]float64 // normalised tf-idf vectors, built lazily
+}
+
+type document struct {
+	id     string
+	tokens []string
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{
+		df:   make(map[string]int),
+		byID: make(map[string]int),
+	}
+}
+
+// Add indexes a document under id. Re-adding an existing id replaces its
+// content.
+func (c *Corpus) Add(id, content string) {
+	tokens := Tokenize(content)
+	if idx, ok := c.byID[id]; ok {
+		for _, t := range uniqueTokens(c.docs[idx].tokens) {
+			c.df[t]--
+			if c.df[t] <= 0 {
+				delete(c.df, t)
+			}
+		}
+		c.docs[idx].tokens = tokens
+	} else {
+		c.byID[id] = len(c.docs)
+		c.docs = append(c.docs, document{id: id, tokens: tokens})
+	}
+	for _, t := range uniqueTokens(tokens) {
+		c.df[t]++
+	}
+	c.dirty = true
+}
+
+// Len returns the number of indexed documents.
+func (c *Corpus) Len() int { return len(c.docs) }
+
+func uniqueTokens(tokens []string) []string {
+	seen := make(map[string]struct{}, len(tokens))
+	var out []string
+	for _, t := range tokens {
+		if _, ok := seen[t]; ok {
+			continue
+		}
+		seen[t] = struct{}{}
+		out = append(out, t)
+	}
+	return out
+}
+
+func (c *Corpus) rebuild() {
+	n := float64(len(c.docs))
+	c.idf = make(map[string]float64, len(c.df))
+	for t, df := range c.df {
+		// Smoothed idf; always positive so single-document corpora still rank.
+		c.idf[t] = math.Log(1+n/float64(df)) + 1e-9
+	}
+	c.vectors = make([]map[string]float64, len(c.docs))
+	for i, d := range c.docs {
+		c.vectors[i] = c.vectorize(d.tokens)
+	}
+	c.dirty = false
+}
+
+// vectorize builds an L2-normalised tf-idf vector for the given tokens.
+func (c *Corpus) vectorize(tokens []string) map[string]float64 {
+	if len(tokens) == 0 {
+		return nil
+	}
+	tf := make(map[string]float64)
+	for _, t := range tokens {
+		tf[t]++
+	}
+	var norm float64
+	for t := range tf {
+		idf, ok := c.idf[t]
+		if !ok {
+			idf = math.Log(1 + float64(len(c.docs)))
+		}
+		tf[t] = tf[t] * idf
+		norm += tf[t] * tf[t]
+	}
+	if norm == 0 {
+		return nil
+	}
+	norm = math.Sqrt(norm)
+	for t := range tf {
+		tf[t] /= norm
+	}
+	return tf
+}
+
+// Score returns the cosine similarity in [0,1] between the query string and
+// the document registered under id. Unknown ids score 0.
+func (c *Corpus) Score(query, id string) float64 {
+	if c.dirty {
+		c.rebuild()
+	}
+	idx, ok := c.byID[id]
+	if !ok {
+		return 0
+	}
+	qv := c.vectorize(Tokenize(query))
+	return dot(qv, c.vectors[idx])
+}
+
+// Match holds one ranked corpus hit for a query.
+type Match struct {
+	ID    string
+	Score float64
+}
+
+// TopMatches returns the documents whose cosine similarity with query is at
+// least minScore, ranked best-first, at most limit entries (limit <= 0 means
+// no limit). Ties break on document id for determinism.
+func (c *Corpus) TopMatches(query string, minScore float64, limit int) []Match {
+	if c.dirty {
+		c.rebuild()
+	}
+	qv := c.vectorize(Tokenize(query))
+	if len(qv) == 0 {
+		return nil
+	}
+	var out []Match
+	for i, d := range c.docs {
+		s := dot(qv, c.vectors[i])
+		if s >= minScore && s > 0 {
+			out = append(out, Match{ID: d.id, Score: s})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// dot returns the inner product, quantised to 1e-9: map iteration order
+// varies the low float bits run to run, and unquantised scores would flip
+// ranking ties (and hence the contents of truncated match lists)
+// nondeterministically.
+func dot(a, b map[string]float64) float64 {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	var s float64
+	for t, va := range a {
+		if vb, ok := b[t]; ok {
+			s += va * vb
+		}
+	}
+	return math.Round(s*1e9) / 1e9
+}

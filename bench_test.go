@@ -253,6 +253,38 @@ func BenchmarkKeywordQuery(b *testing.B) {
 	}
 }
 
+// benchQueryAt builds a GBCO-backed Q at the given parallelism and runs the
+// trial workload's keyword queries round-robin — the serial/parallel pair
+// below shares it so the speedup row compares like with like.
+func benchQueryAt(b *testing.B, parallelism int) {
+	b.Helper()
+	corpus := datasets.GBCO()
+	opts := core.DefaultOptions()
+	opts.Parallelism = parallelism
+	q := core.New(opts)
+	q.AddMatcher(meta.New())
+	if err := q.AddTables(corpus.Tables...); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := q.Query(corpus.Trials[i%len(corpus.Trials)].Keywords)
+		if err != nil {
+			b.Fatal(err)
+		}
+		q.DropView(v)
+	}
+}
+
+// BenchmarkSerialQuery and BenchmarkParallelQuery measure the tentpole of the
+// concurrent execution engine: the same GBCO keyword workload with the
+// materialisation worker pool at 1 versus GOMAXPROCS. The equivalence suite
+// (internal/core/parallel_test.go) proves the answers are byte-identical;
+// this pair proves the speedup is real. cmd/qbench -exp parallel prints the
+// same comparison standalone.
+func BenchmarkSerialQuery(b *testing.B)   { benchQueryAt(b, 1) }
+func BenchmarkParallelQuery(b *testing.B) { benchQueryAt(b, 0) } // 0 = GOMAXPROCS default
+
 // BenchmarkRegisterSource measures one new-source registration under each
 // strategy against the GBCO corpus.
 func BenchmarkRegisterSource(b *testing.B) {

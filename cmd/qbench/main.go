@@ -3,20 +3,25 @@
 // reports. Use -exp to run a single experiment.
 //
 //	qbench            # run everything
-//	qbench -exp fig7  # one of: table1 fig6 fig7 fig8 fig10 fig11 fig12 table2 ablation propagation
+//	qbench -exp fig7  # one of: table1 fig6 fig7 fig8 fig10 fig11 fig12 table2 ablation propagation parallel
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
+	"qint/internal/core"
+	"qint/internal/datasets"
 	"qint/internal/eval"
+	"qint/internal/matcher/meta"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig6, fig7, fig8, table1, fig10, fig11, fig12, table2, ablation")
+	exp := flag.String("exp", "all", "experiment to run: all, fig6, fig7, fig8, table1, fig10, fig11, fig12, table2, ablation, parallel")
 	flag.Parse()
 
 	runners := []struct {
@@ -33,6 +38,7 @@ func main() {
 		{"table2", table2},
 		{"ablation", ablation},
 		{"propagation", propagation},
+		{"parallel", parallel},
 	}
 	ran := false
 	for _, r := range runners {
@@ -173,6 +179,53 @@ func propagation() error {
 	fmt.Printf("%-10s %-3s %10s %10s %10s\n", "Algorithm", "Y", "Precision", "Recall", "F-measure")
 	for _, r := range rows {
 		fmt.Printf("%-10s %-3d %10.2f %10.2f %10.2f\n", r.Algorithm, r.Y, r.Precision, r.Recall, r.F1)
+	}
+	return nil
+}
+
+// parallel compares serial and pooled view materialisation on the GBCO
+// trial workload — the standalone counterpart of Benchmark{Serial,Parallel}Query.
+func parallel() error {
+	corpus := datasets.GBCO()
+	run := func(parallelism int) (time.Duration, error) {
+		opts := core.DefaultOptions()
+		opts.Parallelism = parallelism
+		q := core.New(opts)
+		q.AddMatcher(meta.New())
+		if err := q.AddTables(corpus.Tables...); err != nil {
+			return 0, err
+		}
+		// Warm one query so lazily built indexes don't bias the first trial.
+		if v, err := q.Query(corpus.Trials[0].Keywords); err != nil {
+			return 0, err
+		} else {
+			q.DropView(v)
+		}
+		start := time.Now()
+		for _, trial := range corpus.Trials {
+			v, err := q.Query(trial.Keywords)
+			if err != nil {
+				return 0, err
+			}
+			q.DropView(v)
+		}
+		return time.Since(start) / time.Duration(len(corpus.Trials)), nil
+	}
+	serial, err := run(1)
+	if err != nil {
+		return err
+	}
+	pooled, err := run(0) // 0 = GOMAXPROCS default
+	if err != nil {
+		return err
+	}
+	header(fmt.Sprintf("Parallel execution: mean GBCO keyword-query latency (%d trials, GOMAXPROCS=%d)",
+		len(corpus.Trials), runtime.GOMAXPROCS(0)))
+	fmt.Printf("%-22s %12s\n", "Mode", "Mean/query")
+	fmt.Printf("%-22s %12v\n", "serial (workers=1)", serial)
+	fmt.Printf("%-22s %12v\n", "parallel (pool)", pooled)
+	if pooled > 0 {
+		fmt.Printf("%-22s %12.2fx\n", "speedup", float64(serial)/float64(pooled))
 	}
 	return nil
 }

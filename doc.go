@@ -6,4 +6,27 @@
 // inventory); cmd/ holds the executables and examples/ the runnable usage
 // examples. The benchmarks in bench_test.go regenerate every table and
 // figure of the paper's evaluation.
+//
+// # Concurrency model
+//
+// The system is single-writer, many-reader. A core.Q instance accepts one
+// mutation at a time — queries, source registrations and feedback must be
+// serialised by the caller, as the paper's single-user-view model assumes —
+// but inside one call Q fans work across a bounded worker pool
+// (core.Options.Parallelism, default GOMAXPROCS): a view's tree→query
+// translations and conjunctive-query branch executions run concurrently,
+// and Refresh rematerialises persistent views concurrently. The pipeline
+// collects branches by tree index and runs the order-sensitive passes
+// (signature dedup, output-schema alignment, DisjointUnion) as
+// deterministic post-passes in tree-cost order, so a view materialised at
+// any parallelism is byte-identical — trees, query signatures, ranked rows
+// and α — to the serial result. internal/core/parallel_test.go pins that
+// equivalence metamorphically across the bundled corpora.
+//
+// relstore.Catalog backs the parallel branch executor: registration is the
+// single writer, after which every read path is safe for any number of
+// concurrent readers. The HTTP layer (internal/server) maps the same model
+// onto an RWMutex — GET endpoints share the read lock and serve
+// concurrently, while registration, querying and feedback take the write
+// lock.
 package qint

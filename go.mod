@@ -1,0 +1,3 @@
+module qint
+
+go 1.24

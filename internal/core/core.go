@@ -19,7 +19,10 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
 	"strings"
+	"sync"
 
 	"qint/internal/learning"
 	"qint/internal/matcher"
@@ -62,6 +65,15 @@ type Options struct {
 	// MIRA ("using real-valued features directly in the algorithm can
 	// cause poor learning"); the ablation benchmark quantifies it.
 	RawConfidences bool
+	// Parallelism bounds the worker pool used by view materialisation: the
+	// tree→query translations and conjunctive-query executions of one view
+	// fan out across at most this many workers, and Refresh rematerialises
+	// up to this many views concurrently. 1 means fully serial execution;
+	// any value produces byte-identical views (the pipeline collects
+	// branches by tree index and runs the signature-dedup and output-schema
+	// alignment as deterministic post-passes in tree-cost order). Defaults
+	// to runtime.GOMAXPROCS(0).
+	Parallelism int
 }
 
 // DefaultOptions returns the settings used throughout the paper's
@@ -75,6 +87,7 @@ func DefaultOptions() Options {
 		ColumnAlignThreshold: 2.0,
 		AssocCostThreshold:   0,
 		PreferentialBudget:   3,
+		Parallelism:          runtime.GOMAXPROCS(0),
 	}
 }
 
@@ -98,6 +111,9 @@ func (o Options) withDefaults() Options {
 	if o.PreferentialBudget <= 0 {
 		o.PreferentialBudget = d.PreferentialBudget
 	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = d.Parallelism
+	}
 	return o
 }
 
@@ -118,9 +134,16 @@ type Stats struct {
 // Reset zeroes the counters.
 func (s *Stats) Reset() { *s = Stats{} }
 
-// Q is the integration system. It is not safe for concurrent use; callers
+// Q is the integration system. It follows a single-writer model: callers
 // serialise queries, registrations and feedback (as the single-user-view
-// model of the paper assumes).
+// model of the paper assumes). Internally, however, one call may fan work
+// across a bounded pool of Options.Parallelism workers — a view's
+// tree→query translations and branch executions run concurrently, and
+// Refresh rematerialises views concurrently. graphMu serialises the
+// graph-mutating phase of materialisation (keyword activation, Steiner
+// search, translation and column alignment all read volatile graph state)
+// while branch execution, which only reads the immutable catalog, overlaps
+// freely across views.
 type Q struct {
 	Catalog *relstore.Catalog
 	Graph   *searchgraph.Graph
@@ -140,6 +163,15 @@ type Q struct {
 
 	// invalidators are called when the catalog grows (matcher caches).
 	invalidators []func()
+
+	// graphMu serialises the graph phase of materialize across the views a
+	// parallel Refresh is rematerialising.
+	graphMu sync.Mutex
+
+	// execSem bounds concurrently running branch executions across ALL
+	// in-flight materialisations to Options.Parallelism, so a parallel
+	// Refresh of many views cannot multiply the two pool bounds.
+	execSem chan struct{}
 }
 
 // New constructs an empty Q system with the given options and the default
@@ -154,11 +186,23 @@ func New(opts Options) *Q {
 		mira:     learning.NewMIRA(),
 		corpus:   text.NewCorpus(),
 		expanded: make(map[string]map[string]bool),
+		execSem:  make(chan struct{}, o.Parallelism),
 	}
 }
 
 // Options returns the effective options.
 func (q *Q) Options() Options { return q.opts }
+
+// SetParallelism resizes the materialisation worker pool. n <= 0 restores
+// the default (runtime.GOMAXPROCS(0)). Like every other mutation, it is a
+// single-writer operation: do not call it while queries are in flight.
+func (q *Q) SetParallelism(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	q.opts.Parallelism = n
+	q.execSem = make(chan struct{}, n)
+}
 
 // DefaultWeights is the initial weight vector: every learnable edge pays a
 // small default cost; foreign keys carry the default FK cost c_d; keyword
@@ -216,13 +260,21 @@ func (q *Q) AddTables(tables ...*relstore.Table) error {
 			return err
 		}
 	}
-	sources := make(map[string]struct{})
+	// Sorted source order keeps graph node IDs deterministic across
+	// identically-built instances (the parallel-equivalence harness compares
+	// tree fingerprints; map iteration order is not deterministic), and the
+	// batched AddSources call keeps foreign keys BETWEEN the new sources
+	// intact regardless of that order.
+	seen := make(map[string]bool)
+	var sources []string
 	for _, t := range tables {
-		sources[t.Relation.Source] = struct{}{}
+		if !seen[t.Relation.Source] {
+			seen[t.Relation.Source] = true
+			sources = append(sources, t.Relation.Source)
+		}
 	}
-	for s := range sources {
-		q.Graph.AddSource(q.Catalog, s)
-	}
+	sort.Strings(sources)
+	q.Graph.AddSources(q.Catalog, sources)
 	for _, t := range tables {
 		q.indexRelation(t.Relation)
 	}

@@ -1,0 +1,330 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"qint/internal/datasets"
+	"qint/internal/matcher/mad"
+	"qint/internal/matcher/meta"
+	"qint/internal/relstore"
+)
+
+// The metamorphic property under test: a view materialised with a parallel
+// worker pool must be byte-identical — trees, query signatures and SQL,
+// unified columns, ranked rows with provenance, and α — to the same view
+// materialised serially. fingerprintView captures everything a view exposes
+// into one comparable string.
+func fingerprintView(v *View) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "keywords=%v k=%d alpha=%.12f\n", v.Keywords, v.K, v.Alpha)
+	for _, t := range v.Trees {
+		fmt.Fprintf(&b, "tree %s cost=%.12f\n", t.Key(), t.Cost)
+	}
+	for _, cq := range v.Queries {
+		fmt.Fprintf(&b, "query sig=%s\nquery sql=%s\n", cq.Signature(), cq.SQL())
+	}
+	fmt.Fprintf(&b, "cols=%s\n", strings.Join(v.Result.Columns, "|"))
+	for _, r := range v.Result.Rows {
+		fmt.Fprintf(&b, "row %q cost=%.12f branch=%d prov=%s\n",
+			r.Values, r.Cost, r.Branch, r.Provenance)
+	}
+	return b.String()
+}
+
+// equivCorpus is one dataset of the equivalence suite: a builder that loads
+// a fresh Q at the given parallelism, the keyword queries to ask, and a new
+// source whose registration (and the Refresh it triggers) must also be
+// order-independent.
+type equivCorpus struct {
+	name     string
+	build    func(t *testing.T, parallelism int) *Q
+	queries  []string
+	newTable func(t *testing.T) *relstore.Table
+}
+
+func equivCorpora() []equivCorpus {
+	return []equivCorpus{
+		{
+			name: "interpro",
+			build: func(t *testing.T, parallelism int) *Q {
+				opts := DefaultOptions()
+				opts.Parallelism = parallelism
+				q := New(opts)
+				q.AddMatcher(meta.New())
+				q.AddMatcher(mad.New())
+				corpus := datasets.InterProGO()
+				if err := q.AddTables(corpus.Tables...); err != nil {
+					t.Fatal(err)
+				}
+				q.AlignAllPairs()
+				return q
+			},
+			queries: datasets.InterProGO().Queries,
+			newTable: func(t *testing.T) *relstore.Table {
+				rel := &relstore.Relation{Source: "ext", Name: "citations",
+					Attributes: []relstore.Attribute{{Name: "pub_id"}, {Name: "cited_by"}}}
+				tb, err := relstore.NewTable(rel, [][]string{
+					{"PUB00001", "PUB00002"}, {"PUB00003", "PUB00001"}})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return tb
+			},
+		},
+		{
+			name: "gbco",
+			build: func(t *testing.T, parallelism int) *Q {
+				opts := DefaultOptions()
+				opts.Parallelism = parallelism
+				q := New(opts)
+				q.AddMatcher(meta.New())
+				corpus := datasets.GBCO()
+				if err := q.AddTables(corpus.Tables...); err != nil {
+					t.Fatal(err)
+				}
+				return q
+			},
+			queries: func() []string {
+				var out []string
+				for _, trial := range datasets.GBCO().Trials {
+					out = append(out, trial.Keywords)
+				}
+				return out
+			}(),
+			newTable: func(t *testing.T) *relstore.Table {
+				rel := &relstore.Relation{Source: "ext", Name: "annotations",
+					Attributes: []relstore.Attribute{{Name: "pubmed_id"}, {Name: "label"}}}
+				tb, err := relstore.NewTable(rel, [][]string{
+					{"PUB00001", "curated"}, {"PUB00004", "automatic"}})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return tb
+			},
+		},
+		{
+			name: "synthetic",
+			build: func(t *testing.T, parallelism int) *Q {
+				opts := DefaultOptions()
+				opts.Parallelism = parallelism
+				q := New(opts)
+				q.AddMatcher(meta.New())
+				q.AddMatcher(mad.New())
+				if err := q.AddTables(syntheticCorpus(t)...); err != nil {
+					t.Fatal(err)
+				}
+				q.AlignAllPairs()
+				return q
+			},
+			queries: []string{
+				"alice widget",
+				"bob gadget",
+				"springfield sprocket",
+				"'C1' item",
+				"carol city",
+			},
+			newTable: func(t *testing.T) *relstore.Table {
+				rel := &relstore.Relation{Source: "ext", Name: "reviews",
+					Attributes: []relstore.Attribute{{Name: "customer_id"}, {Name: "stars"}}}
+				tb, err := relstore.NewTable(rel, [][]string{
+					{"C1", "5"}, {"C3", "2"}})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return tb
+			},
+		},
+	}
+}
+
+// syntheticCorpus is a small deterministic two-source schema with
+// overlapping join values, so the matchers must discover the customer_id
+// association and queries union rows from several Steiner trees.
+func syntheticCorpus(t *testing.T) []*relstore.Table {
+	t.Helper()
+	mk := func(rel *relstore.Relation, rows [][]string) *relstore.Table {
+		tb, err := relstore.NewTable(rel, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb
+	}
+	customers := &relstore.Relation{Source: "crm", Name: "customers",
+		Attributes: []relstore.Attribute{{Name: "customer_id"}, {Name: "name"}, {Name: "city"}}}
+	orders := &relstore.Relation{Source: "sales", Name: "orders",
+		Attributes: []relstore.Attribute{{Name: "order_id"}, {Name: "customer_id"}, {Name: "item"}}}
+	shipments := &relstore.Relation{Source: "sales", Name: "shipments",
+		Attributes: []relstore.Attribute{{Name: "order_id"}, {Name: "carrier"}},
+		ForeignKeys: []relstore.ForeignKey{
+			{FromAttr: "order_id", ToRelation: "sales.orders", ToAttr: "order_id"}}}
+	return []*relstore.Table{
+		mk(customers, [][]string{
+			{"C1", "alice", "springfield"},
+			{"C2", "bob", "shelbyville"},
+			{"C3", "carol", "springfield"},
+		}),
+		mk(orders, [][]string{
+			{"O1", "C1", "widget"},
+			{"O2", "C2", "gadget"},
+			{"O3", "C1", "sprocket"},
+			{"O4", "C3", "widget"},
+		}),
+		mk(shipments, [][]string{
+			{"O1", "postal"},
+			{"O2", "courier"},
+			{"O4", "postal"},
+		}),
+	}
+}
+
+// TestParallelQueryEquivalence materialises every dataset query on a serial
+// instance (Parallelism=1) and a parallel one (Parallelism=8) and demands
+// byte-identical views.
+func TestParallelQueryEquivalence(t *testing.T) {
+	for _, c := range equivCorpora() {
+		t.Run(c.name, func(t *testing.T) {
+			serial := c.build(t, 1)
+			parallel := c.build(t, 8)
+			if got := parallel.Options().Parallelism; got != 8 {
+				t.Fatalf("Parallelism = %d, want 8", got)
+			}
+			for _, kw := range c.queries {
+				vs, err := serial.Query(kw)
+				if err != nil {
+					t.Fatalf("serial query %q: %v", kw, err)
+				}
+				vp, err := parallel.Query(kw)
+				if err != nil {
+					t.Fatalf("parallel query %q: %v", kw, err)
+				}
+				fs, fp := fingerprintView(vs), fingerprintView(vp)
+				if fs != fp {
+					t.Errorf("query %q: serial and parallel views differ\nserial:\n%s\nparallel:\n%s", kw, fs, fp)
+				}
+				if len(vs.Trees) == 0 {
+					t.Errorf("query %q produced no trees; equivalence is vacuous", kw)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelRefreshEquivalence registers a new source on both instances
+// (registration triggers a Refresh of every persistent view) and then runs
+// one more explicit Refresh, checking that all views remain byte-identical.
+func TestParallelRefreshEquivalence(t *testing.T) {
+	for _, c := range equivCorpora() {
+		t.Run(c.name, func(t *testing.T) {
+			serial := c.build(t, 1)
+			parallel := c.build(t, 8)
+			for _, kw := range c.queries {
+				if _, err := serial.Query(kw); err != nil {
+					t.Fatalf("serial query %q: %v", kw, err)
+				}
+				if _, err := parallel.Query(kw); err != nil {
+					t.Fatalf("parallel query %q: %v", kw, err)
+				}
+			}
+			if _, err := serial.RegisterSource([]*relstore.Table{c.newTable(t)}, ViewBased); err != nil {
+				t.Fatalf("serial register: %v", err)
+			}
+			if _, err := parallel.RegisterSource([]*relstore.Table{c.newTable(t)}, ViewBased); err != nil {
+				t.Fatalf("parallel register: %v", err)
+			}
+			if err := serial.Refresh(); err != nil {
+				t.Fatalf("serial refresh: %v", err)
+			}
+			if err := parallel.Refresh(); err != nil {
+				t.Fatalf("parallel refresh: %v", err)
+			}
+			sv, pv := serial.Views(), parallel.Views()
+			if len(sv) != len(pv) {
+				t.Fatalf("view counts differ: %d vs %d", len(sv), len(pv))
+			}
+			for i := range sv {
+				fs, fp := fingerprintView(sv[i]), fingerprintView(pv[i])
+				if fs != fp {
+					t.Errorf("view %d diverged after refresh\nserial:\n%s\nparallel:\n%s", i, fs, fp)
+				}
+			}
+		})
+	}
+}
+
+// TestSetParallelism checks the knob the server plumbs through.
+func TestSetParallelism(t *testing.T) {
+	q := New(Options{Parallelism: 3})
+	if got := q.Options().Parallelism; got != 3 {
+		t.Fatalf("Parallelism = %d, want 3", got)
+	}
+	q.SetParallelism(5)
+	if got := q.Options().Parallelism; got != 5 {
+		t.Fatalf("after SetParallelism(5): %d", got)
+	}
+	q.SetParallelism(0) // restores the GOMAXPROCS default
+	if got := q.Options().Parallelism; got < 1 {
+		t.Fatalf("after SetParallelism(0): %d", got)
+	}
+}
+
+// TestRunIndexed pins the pool helper's contract: full coverage of indexes,
+// bounded workers, and lowest-index error selection (serial semantics).
+func TestRunIndexed(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		done := make([]bool, 50)
+		if err := runIndexed(len(done), workers, func(i int) error {
+			done[i] = true
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, ok := range done {
+			if !ok {
+				t.Fatalf("workers=%d: index %d never ran", workers, i)
+			}
+		}
+	}
+
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	err := runIndexed(20, 8, func(i int) error {
+		switch i {
+		case 3:
+			return errLow
+		case 15:
+			return errHigh
+		}
+		return nil
+	})
+	if err != errLow {
+		t.Fatalf("error = %v, want lowest-index error %v", err, errLow)
+	}
+
+	if err := runIndexed(0, 4, func(i int) error { return errLow }); err != nil {
+		t.Fatalf("n=0: %v", err)
+	}
+
+	// Side effects must not depend on the worker count: even serially, an
+	// early error must not stop later indexes from running (a failing
+	// parallel Refresh rematerialises every view; serial must match).
+	for _, workers := range []int{1, 4} {
+		ran := make([]bool, 10)
+		err := runIndexed(len(ran), workers, func(i int) error {
+			ran[i] = true
+			if i == 2 {
+				return errLow
+			}
+			return nil
+		})
+		if err != errLow {
+			t.Fatalf("workers=%d: error = %v, want %v", workers, err, errLow)
+		}
+		for i, ok := range ran {
+			if !ok {
+				t.Fatalf("workers=%d: index %d skipped after error", workers, i)
+			}
+		}
+	}
+}

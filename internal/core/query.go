@@ -114,10 +114,76 @@ func (q *Q) expandKeyword(kw string) steiner.NodeID {
 }
 
 // materialize (re)computes a view's trees, queries and result under the
-// current search graph. Only this view's keyword edges are active during
-// the computation: keyword nodes persist across views, and a stale keyword
-// must never serve as a cheap bridge in another query's trees.
+// current search graph. It runs in two phases. The plan phase (planView,
+// serialised on graphMu) computes the top-k trees and translates them into
+// deduplicated, column-aligned conjunctive queries. The execute phase fans
+// the branch executions across the bounded worker pool; branches are
+// collected by query index, so the DisjointUnion sees them in tree-cost
+// order and the result is byte-identical at any Options.Parallelism.
 func (q *Q) materialize(v *View) error {
+	queries, err := q.planView(v)
+	if err != nil {
+		return err
+	}
+	results := make([]*relstore.ResultSet, len(queries))
+	err = runIndexed(len(queries), q.opts.Parallelism, func(i int) error {
+		q.execSem <- struct{}{}
+		defer func() { <-q.execSem }()
+		rs, err := relstore.Execute(q.Catalog, queries[i])
+		if err != nil {
+			return err
+		}
+		results[i] = rs
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	v.Queries = append(v.Queries[:0], queries...)
+	branches := make([]relstore.Branch, len(queries))
+	for i, cq := range queries {
+		branches[i] = relstore.Branch{
+			Result:     results[i],
+			Cost:       cq.Cost,
+			Provenance: cq.Signature(),
+		}
+	}
+	v.Result = relstore.DisjointUnion(branches)
+	// α is the cost of the k-th top-scoring RESULT (paper §3.3: "the cost
+	// of the kth top-scoring result for the user view") — when the best
+	// query yields many tuples, α stays at that query's cost, keeping the
+	// VIEWBASEDALIGNER neighbourhood tight. Fall back to the worst retained
+	// tree when the view yields fewer than k tuples.
+	v.Alpha = 0
+	trees := v.Trees
+	switch {
+	case len(v.Result.Rows) >= v.K && v.K > 0:
+		v.Alpha = v.Result.Rows[v.K-1].Cost
+	case len(v.Result.Rows) > 0:
+		v.Alpha = v.Result.Rows[len(v.Result.Rows)-1].Cost
+		if len(trees) > 0 && trees[len(trees)-1].Cost > v.Alpha {
+			v.Alpha = trees[len(trees)-1].Cost
+		}
+	case len(trees) > 0:
+		v.Alpha = trees[len(trees)-1].Cost
+	}
+	return nil
+}
+
+// planView is the graph phase of materialisation: under graphMu it
+// activates the view's keywords, computes and prunes the top-k Steiner
+// trees, fans the tree→query translation across the worker pool (results
+// collected by tree index), and then runs the two order-sensitive
+// post-passes serially in tree-cost order — signature deduplication and
+// the §2.2 output-schema alignment — so the produced query list is
+// deterministic regardless of parallelism. The lock matters during a
+// parallel Refresh: activation rewrites keyword-edge costs, and both
+// translation and alignment read graph state that another view's
+// activation would otherwise be mutating.
+func (q *Q) planView(v *View) ([]*relstore.ConjunctiveQuery, error) {
+	q.graphMu.Lock()
+	defer q.graphMu.Unlock()
+
 	q.Graph.ActivateKeywords(v.terminals)
 	var trees []steiner.Tree
 	if q.opts.UseApproxSteiner {
@@ -148,50 +214,35 @@ func (q *Q) materialize(v *View) error {
 	}
 	v.Trees = trees
 
-	v.Queries = v.Queries[:0]
-	var branches []relstore.Branch
-	sigs := make(map[string]bool)
-	outputSchema := make(map[string]bool) // QA of §2.2
-	for _, t := range trees {
-		cq, err := q.treeToQuery(t)
+	// Translate every tree concurrently; cqs is indexed by tree.
+	cqs := make([]*relstore.ConjunctiveQuery, len(trees))
+	err := runIndexed(len(trees), q.opts.Parallelism, func(i int) error {
+		cq, err := q.treeToQuery(trees[i])
 		if err != nil {
 			return err
 		}
+		cqs[i] = cq
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Deterministic post-passes, in tree-cost order.
+	var queries []*relstore.ConjunctiveQuery
+	sigs := make(map[string]bool)
+	for _, cq := range cqs {
 		if sigs[cq.Signature()] {
 			continue // equivalent query from a different tree
 		}
 		sigs[cq.Signature()] = true
+		queries = append(queries, cq)
+	}
+	outputSchema := make(map[string]bool) // QA of §2.2
+	for _, cq := range queries {
 		q.alignOutputColumns(cq, outputSchema)
-		rs, err := relstore.Execute(q.Catalog, cq)
-		if err != nil {
-			return err
-		}
-		v.Queries = append(v.Queries, cq)
-		branches = append(branches, relstore.Branch{
-			Result:     rs,
-			Cost:       cq.Cost,
-			Provenance: cq.Signature(),
-		})
 	}
-	v.Result = relstore.DisjointUnion(branches)
-	// α is the cost of the k-th top-scoring RESULT (paper §3.3: "the cost
-	// of the kth top-scoring result for the user view") — when the best
-	// query yields many tuples, α stays at that query's cost, keeping the
-	// VIEWBASEDALIGNER neighbourhood tight. Fall back to the worst retained
-	// tree when the view yields fewer than k tuples.
-	v.Alpha = 0
-	switch {
-	case len(v.Result.Rows) >= v.K && v.K > 0:
-		v.Alpha = v.Result.Rows[v.K-1].Cost
-	case len(v.Result.Rows) > 0:
-		v.Alpha = v.Result.Rows[len(v.Result.Rows)-1].Cost
-		if len(trees) > 0 && trees[len(trees)-1].Cost > v.Alpha {
-			v.Alpha = trees[len(trees)-1].Cost
-		}
-	case len(trees) > 0:
-		v.Alpha = trees[len(trees)-1].Cost
-	}
-	return nil
+	return queries, nil
 }
 
 func (q *Q) treeUsesExpensiveAssoc(t steiner.Tree) bool {
@@ -205,18 +256,22 @@ func (q *Q) treeUsesExpensiveAssoc(t steiner.Tree) bool {
 }
 
 // Refresh rematerialises every persistent view (after weight updates or new
-// alignments). Keyword expansions are extended first so new sources'
-// matches participate.
+// alignments). Keyword expansions are extended first — serially, since they
+// grow the search graph — so new sources' matches participate; the views
+// then rematerialise across the bounded worker pool. Each view's graph
+// phase serialises on graphMu while branch executions overlap, and views
+// are independent (each owns its trees/queries/result), so the fan-out
+// leaves every view byte-identical to a serial refresh.
 func (q *Q) Refresh() error {
 	for _, v := range q.views {
 		for _, kw := range v.Keywords {
 			q.expandKeyword(kw)
 		}
-		if err := q.materialize(v); err != nil {
-			return err
-		}
 	}
-	return nil
+	views := q.views
+	return runIndexed(len(views), q.opts.Parallelism, func(i int) error {
+		return q.materialize(views[i])
+	})
 }
 
 // TreeQuery converts a Steiner tree over the search graph into a

@@ -3,6 +3,7 @@ package datasets
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 
 	"qint/internal/relstore"
@@ -166,8 +167,13 @@ func GBCO() *GBCOCorpus {
 		for _, a := range spec.attrs {
 			rel.Attributes = append(rel.Attributes, relstore.Attribute{Name: a})
 		}
-		for from, to := range spec.fks {
-			parts := strings.SplitN(to, ".", 2)
+		froms := make([]string, 0, len(spec.fks))
+		for from := range spec.fks {
+			froms = append(froms, from)
+		}
+		sort.Strings(froms) // map order would make FK (and graph edge) order vary per run
+		for _, from := range froms {
+			parts := strings.SplitN(spec.fks[from], ".", 2)
 			rel.ForeignKeys = append(rel.ForeignKeys, relstore.ForeignKey{
 				FromAttr: from, ToRelation: parts[0] + "." + parts[0], ToAttr: parts[1],
 			})

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"qint/internal/text"
 )
@@ -46,11 +47,19 @@ func (t *Table) Column(attr string) []string {
 // per-attribute distinct-value indexes (built lazily) used for value-overlap
 // filtering and MAD graph construction.
 //
-// Catalog is not safe for concurrent mutation; Q serialises registrations.
+// Concurrency contract: the catalog is single-writer, many-reader. AddTable
+// (the only mutation of tables/order — tables themselves are immutable once
+// added) must be serialised against ALL other calls; Q and the HTTP server
+// enforce this by holding their write locks across registration. Every read
+// method may then be called from any number of goroutines concurrently —
+// Q's parallel branch executor depends on this. The one read path that
+// mutates internal state, the lazily built ValueSet cache, is guarded by
+// valueMu so concurrent readers stay race-free.
 type Catalog struct {
 	tables map[string]*Table // by qualified relation name
 	order  []string          // insertion order of qualified names
 
+	valueMu   sync.RWMutex                    // guards valueSets only
 	valueSets map[AttrRef]map[string]struct{} // lazily built distinct values
 }
 
@@ -140,9 +149,14 @@ func (c *Catalog) NumAttributes() int {
 }
 
 // ValueSet returns the distinct values of the referenced attribute. The set
-// is computed once and cached; callers must not mutate it.
+// is computed once and cached; callers must not mutate it. Safe for
+// concurrent use: losers of a racing first computation adopt the winner's
+// cached set, so all callers observe one canonical map per attribute.
 func (c *Catalog) ValueSet(ref AttrRef) map[string]struct{} {
-	if vs, ok := c.valueSets[ref]; ok {
+	c.valueMu.RLock()
+	vs, ok := c.valueSets[ref]
+	c.valueMu.RUnlock()
+	if ok {
 		return vs
 	}
 	t := c.tables[ref.Relation]
@@ -153,13 +167,19 @@ func (c *Catalog) ValueSet(ref AttrRef) map[string]struct{} {
 	if i < 0 {
 		return nil
 	}
-	vs := make(map[string]struct{})
+	vs = make(map[string]struct{})
 	for _, row := range t.Rows {
 		if v := row[i]; v != "" {
 			vs[v] = struct{}{}
 		}
 	}
-	c.valueSets[ref] = vs
+	c.valueMu.Lock()
+	if won, ok := c.valueSets[ref]; ok {
+		vs = won
+	} else {
+		c.valueSets[ref] = vs
+	}
+	c.valueMu.Unlock()
 	return vs
 }
 

@@ -632,8 +632,26 @@ func Build(c *relstore.Catalog, weights learning.Vector) *Graph {
 // and when a new source registers (paper §3.1: "the first step is to
 // incorporate each of its underlying tables into the search graph").
 func (g *Graph) AddSource(c *relstore.Catalog, source string) {
+	g.AddSources(c, []string{source})
+}
+
+// AddSources incorporates several sources at once, in two phases: every
+// source's relation and attribute nodes first, then every declared foreign
+// key. Batching matters when the new sources reference each other — adding
+// them one AddSource call at a time would silently drop any foreign key
+// whose target source had not been added yet, leaving the graph's edge set
+// dependent on source order.
+func (g *Graph) AddSources(c *relstore.Catalog, sources []string) {
+	match := func(rel *relstore.Relation) bool {
+		for _, s := range sources {
+			if s == "" || rel.Source == s {
+				return true
+			}
+		}
+		return false
+	}
 	for _, rel := range c.Relations() {
-		if source != "" && rel.Source != source {
+		if !match(rel) {
 			continue
 		}
 		qn := rel.QualifiedName()
@@ -644,13 +662,13 @@ func (g *Graph) AddSource(c *relstore.Catalog, source string) {
 	}
 	// Foreign keys second, so both endpoints exist.
 	for _, rel := range c.Relations() {
-		if source != "" && rel.Source != source {
+		if !match(rel) {
 			continue
 		}
 		qn := rel.QualifiedName()
 		for _, fk := range rel.ForeignKeys {
 			if c.Relation(fk.ToRelation) == nil {
-				continue // dangling FK: target not registered yet
+				continue // dangling FK: target not registered at all
 			}
 			g.AddForeignKeyEdge(
 				relstore.AttrRef{Relation: qn, Attr: fk.FromAttr},

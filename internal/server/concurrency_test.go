@@ -1,0 +1,188 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestHammerMixedLoad fires many goroutines of mixed reads and writes at one
+// server under the race detector: keyword queries (some with the ?parallel=
+// knob), view listings and fetches, association and stats reads, and
+// feedback posts. It then checks the server's bookkeeping survived — every
+// created view has a unique stable ID and shows up in the listing.
+func TestHammerMixedLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hammer test skipped in -short mode")
+	}
+	ts := newTestServer(t)
+
+	const writers = 6
+	const readers = 12
+	const perWriter = 3
+
+	var mu sync.Mutex
+	var created []string
+	errc := make(chan error, writers+readers)
+	var wg sync.WaitGroup
+
+	// Writers: POST /query, alternating the per-request parallelism knob,
+	// plus a feedback post against the view each one just created.
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				url := ts.URL + "/query"
+				if i%2 == 1 {
+					url += "?parallel=4"
+				}
+				resp := postJSON(t, url, QueryRequest{
+					Q: fmt.Sprintf("'GO:%07d' 'fam_%d'", 1000+w, (w+i)%4),
+				})
+				if resp.StatusCode != http.StatusCreated {
+					body, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					errc <- fmt.Errorf("writer %d: query status %d: %s", w, resp.StatusCode, body)
+					return
+				}
+				var va ViewAnswers
+				if err := json.NewDecoder(resp.Body).Decode(&va); err != nil {
+					resp.Body.Close()
+					errc <- fmt.Errorf("writer %d: decode: %v", w, err)
+					return
+				}
+				resp.Body.Close()
+				mu.Lock()
+				created = append(created, va.ID)
+				mu.Unlock()
+				if len(va.Rows) > 0 {
+					fb := postJSON(t, ts.URL+"/views/"+va.ID+"/feedback",
+						FeedbackRequest{Row: 0, Kind: "valid"})
+					fb.Body.Close()
+					if fb.StatusCode != http.StatusOK {
+						errc <- fmt.Errorf("writer %d: feedback on %s: status %d", w, va.ID, fb.StatusCode)
+						return
+					}
+				}
+			}
+			errc <- nil
+		}(w)
+	}
+
+	// Readers: hit every GET endpoint in a loop while the writers churn.
+	paths := []string{"/views", "/associations", "/stats", "/views/v0"}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				path := paths[(r+i)%len(paths)]
+				resp, err := http.Get(ts.URL + path)
+				if err != nil {
+					errc <- fmt.Errorf("reader %d: GET %s: %v", r, path, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				// /views/v0 may 404 until the first writer lands; every
+				// other read must succeed.
+				if resp.StatusCode != http.StatusOK &&
+					!(path == "/views/v0" && resp.StatusCode == http.StatusNotFound) {
+					errc <- fmt.Errorf("reader %d: GET %s: status %d", r, path, resp.StatusCode)
+					return
+				}
+			}
+			errc <- nil
+		}(r)
+	}
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+
+	// Stable IDs: no duplicates despite concurrent creation, and the final
+	// listing contains exactly the IDs handed out.
+	if len(created) != writers*perWriter {
+		t.Fatalf("created %d views, want %d", len(created), writers*perWriter)
+	}
+	seen := make(map[string]bool)
+	for _, id := range created {
+		if seen[id] {
+			t.Errorf("duplicate view id %s", id)
+		}
+		seen[id] = true
+	}
+	resp, err := http.Get(ts.URL + "/views")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []ViewSummary
+	decode(t, resp, &list)
+	if len(list) != len(created) {
+		t.Fatalf("listing has %d views, want %d", len(list), len(created))
+	}
+	for _, s := range list {
+		if !seen[s.ID] {
+			t.Errorf("listing contains unknown id %s", s.ID)
+		}
+		// Each listed view must be fetchable under its stable ID.
+		g, err := http.Get(ts.URL + "/views/" + s.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, g.Body)
+		g.Body.Close()
+		if g.StatusCode != http.StatusOK {
+			t.Errorf("GET /views/%s = %d", s.ID, g.StatusCode)
+		}
+	}
+}
+
+// TestParallelKnob pins the ?parallel= contract: identical ranked answers at
+// any setting, the Q instance's configured pool restored afterwards, and 400
+// on malformed values.
+func TestParallelKnob(t *testing.T) {
+	ts := newTestServer(t)
+
+	serial := postJSON(t, ts.URL+"/query?parallel=1", QueryRequest{Q: "'GO:0001000' 'fam_0'"})
+	if serial.StatusCode != http.StatusCreated {
+		t.Fatalf("serial status = %d", serial.StatusCode)
+	}
+	var vs ViewAnswers
+	decode(t, serial, &vs)
+
+	par := postJSON(t, ts.URL+"/query?parallel=8", QueryRequest{Q: "'GO:0001000' 'fam_0'"})
+	if par.StatusCode != http.StatusCreated {
+		t.Fatalf("parallel status = %d", par.StatusCode)
+	}
+	var vp ViewAnswers
+	decode(t, par, &vp)
+
+	if vs.Alpha != vp.Alpha || len(vs.Rows) != len(vp.Rows) {
+		t.Fatalf("serial and parallel answers diverge: alpha %v vs %v, rows %d vs %d",
+			vs.Alpha, vp.Alpha, len(vs.Rows), len(vp.Rows))
+	}
+	for i := range vs.Rows {
+		a, _ := json.Marshal(vs.Rows[i])
+		b, _ := json.Marshal(vp.Rows[i])
+		if string(a) != string(b) {
+			t.Errorf("row %d differs:\nserial:   %s\nparallel: %s", i, a, b)
+		}
+	}
+
+	for _, bad := range []string{"0", "-2", "x"} {
+		resp := postJSON(t, ts.URL+"/query?parallel="+bad, QueryRequest{Q: "'GO:0001000'"})
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("parallel=%s: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}

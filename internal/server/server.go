@@ -14,6 +14,17 @@
 //	POST /views/{id}/feedback  mark an answer valid/invalid  (FeedbackRequest)
 //	GET  /associations       association edges with costs
 //	GET  /stats              catalog and graph statistics
+//
+// Concurrency model: Q is single-writer, so the mutating endpoints
+// (POST /sources, /query, /views/{id}/feedback) hold the server's write
+// lock, while all GET endpoints take only the read lock and serve
+// concurrently — a query storm no longer blocks view listings or stats.
+// Inside one query, Q fans tree translation and branch execution across a
+// bounded worker pool (core.Options.Parallelism); POST /query accepts a
+// ?parallel=N query parameter to size that pool per request (the ranked
+// answers are byte-identical at any setting). View IDs come from an atomic
+// counter assigned at creation, not from slice positions, so they stay
+// stable no matter how concurrent creations interleave.
 package server
 
 import (
@@ -23,24 +34,34 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"qint/internal/core"
 	"qint/internal/relstore"
 )
 
-// Server wraps a Q instance behind a mutex (Q itself is single-writer) and
-// implements http.Handler.
+// viewEntry binds a persistent view to its stable wire ID.
+type viewEntry struct {
+	id   string
+	view *core.View
+}
+
+// Server wraps a Q instance behind an RWMutex (Q itself is single-writer;
+// reads of materialised views are safe to share) and implements
+// http.Handler.
 type Server struct {
-	mu    sync.Mutex
-	q     *core.Q
-	views []*core.View
-	mux   *http.ServeMux
+	mu     sync.RWMutex
+	q      *core.Q
+	views  []viewEntry           // creation order
+	byID   map[string]*core.View // stable id -> view
+	nextID atomic.Int64
+	mux    *http.ServeMux
 }
 
 // New wraps q. The caller should have registered matchers and initial
 // tables already.
 func New(q *core.Q) *Server {
-	s := &Server{q: q}
+	s := &Server{q: q, byID: make(map[string]*core.View)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/sources", s.handleSources)
 	mux.HandleFunc("/query", s.handleQuery)
@@ -180,24 +201,42 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	parallel := 0
+	if p := r.URL.Query().Get("parallel"); p != "" {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, "parallel must be a positive integer")
+			return
+		}
+		parallel = n
+	}
 	var req QueryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad json: %v", err)
 		return
 	}
 	s.mu.Lock()
+	prev := 0
+	if parallel > 0 {
+		prev = s.q.Options().Parallelism
+		s.q.SetParallelism(parallel)
+	}
 	v, err := s.q.Query(req.Q)
+	if prev > 0 {
+		s.q.SetParallelism(prev)
+	}
+	var resp ViewAnswers
 	if err == nil {
-		s.views = append(s.views, v)
+		entry := viewEntry{id: fmt.Sprintf("v%d", s.nextID.Add(1)-1), view: v}
+		s.views = append(s.views, entry)
+		s.byID[entry.id] = v
+		resp = s.answersLocked(entry.id, v)
 	}
 	s.mu.Unlock()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.mu.Lock()
-	resp := s.answersLocked(len(s.views)-1, v)
-	s.mu.Unlock()
 	writeJSON(w, http.StatusCreated, resp)
 }
 
@@ -206,36 +245,32 @@ func (s *Server) handleViews(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	s.mu.Lock()
+	s.mu.RLock()
 	out := make([]ViewSummary, len(s.views))
-	for i, v := range s.views {
-		out[i] = s.summaryLocked(i, v)
+	for i, e := range s.views {
+		out[i] = s.summaryLocked(e.id, e.view)
 	}
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleViewByID(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/views/")
 	parts := strings.Split(rest, "/")
-	idx, err := parseViewID(parts[0])
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	s.mu.Lock()
-	ok := idx >= 0 && idx < len(s.views)
-	s.mu.Unlock()
+	id := parts[0]
+	s.mu.RLock()
+	v, ok := s.byID[id]
+	s.mu.RUnlock()
 	if !ok {
-		httpError(w, http.StatusNotFound, "no view %s", parts[0])
+		httpError(w, http.StatusNotFound, "no view %s", id)
 		return
 	}
 
 	switch {
 	case len(parts) == 1 && r.Method == http.MethodGet:
-		s.mu.Lock()
-		resp := s.answersLocked(idx, s.views[idx])
-		s.mu.Unlock()
+		s.mu.RLock()
+		resp := s.answersLocked(id, v)
+		s.mu.RUnlock()
 		writeJSON(w, http.StatusOK, resp)
 	case len(parts) == 2 && parts[1] == "feedback" && r.Method == http.MethodPost:
 		var req FeedbackRequest
@@ -253,10 +288,10 @@ func (s *Server) handleViewByID(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.mu.Lock()
-		err := s.q.FeedbackRow(s.views[idx], req.Row, kind)
+		err := s.q.FeedbackRow(v, req.Row, kind)
 		var resp ViewAnswers
 		if err == nil {
-			resp = s.answersLocked(idx, s.views[idx])
+			resp = s.answersLocked(id, v)
 		}
 		s.mu.Unlock()
 		if err != nil {
@@ -269,16 +304,9 @@ func (s *Server) handleViewByID(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func parseViewID(s string) (int, error) {
-	if !strings.HasPrefix(s, "v") {
-		return 0, fmt.Errorf("view ids look like v0, v1, …")
-	}
-	return strconv.Atoi(s[1:])
-}
-
-func (s *Server) summaryLocked(idx int, v *core.View) ViewSummary {
+func (s *Server) summaryLocked(id string, v *core.View) ViewSummary {
 	return ViewSummary{
-		ID:       fmt.Sprintf("v%d", idx),
+		ID:       id,
 		Keywords: v.Keywords,
 		K:        v.K,
 		Alpha:    v.Alpha,
@@ -286,8 +314,8 @@ func (s *Server) summaryLocked(idx int, v *core.View) ViewSummary {
 	}
 }
 
-func (s *Server) answersLocked(idx int, v *core.View) ViewAnswers {
-	out := ViewAnswers{ViewSummary: s.summaryLocked(idx, v), Columns: v.Result.Columns}
+func (s *Server) answersLocked(id string, v *core.View) ViewAnswers {
+	out := ViewAnswers{ViewSummary: s.summaryLocked(id, v), Columns: v.Result.Columns}
 	for _, row := range v.Result.TopK(v.K) {
 		out.Rows = append(out.Rows, AnswerRow{
 			Values:     row.Values,
@@ -310,9 +338,9 @@ func (s *Server) handleAssociations(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	s.mu.Lock()
+	s.mu.RLock()
 	list := s.q.Graph.AssociationList()
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	out := make([]AssociationInfo, len(list))
 	for i, a := range list {
 		out[i] = AssociationInfo{A: a.A.String(), B: a.B.String(), Cost: a.Cost}
@@ -335,7 +363,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	s.mu.Lock()
+	s.mu.RLock()
 	sum := s.q.Graph.Summary()
 	resp := StatsResponse{
 		Relations:  s.q.Catalog.NumRelations(),
@@ -351,7 +379,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for k, n := range sum.ByEdgeKind {
 		resp.Edges[k.String()] = n
 	}
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, resp)
 }
 

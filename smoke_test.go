@@ -1,0 +1,89 @@
+package qint
+
+// Smoke coverage for cmd/ and examples/: every binary must compile, and the
+// quickstart example must run end-to-end against the bundled corpus. These
+// shell out to the go tool, so they are skipped when it is unavailable
+// (they always run in CI, which installs the toolchain).
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func goTool(t *testing.T) string {
+	t.Helper()
+	path, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	return path
+}
+
+// TestBuildBinaries compiles all four commands to a throwaway directory.
+func TestBuildBinaries(t *testing.T) {
+	gt := goTool(t)
+	tmp := t.TempDir()
+	for _, name := range []string{"qbench", "qgen", "qserver", "qshell"} {
+		cmd := exec.Command(gt, "build", "-o", filepath.Join(tmp, name), "./cmd/"+name)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Errorf("go build ./cmd/%s: %v\n%s", name, err, out)
+		}
+	}
+}
+
+// TestBuildExamples compiles every example program.
+func TestBuildExamples(t *testing.T) {
+	gt := goTool(t)
+	tmp := t.TempDir()
+	examples, err := filepath.Glob("examples/*/main.go")
+	if err != nil || len(examples) == 0 {
+		t.Fatalf("no examples found: %v", err)
+	}
+	for _, main := range examples {
+		dir := filepath.Dir(main)
+		name := filepath.Base(dir)
+		cmd := exec.Command(gt, "build", "-o", filepath.Join(tmp, name), "./"+dir)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Errorf("go build ./%s: %v\n%s", dir, err, out)
+		}
+	}
+}
+
+// TestQuickstartEndToEnd runs examples/quickstart and checks it walks the
+// whole pipeline: alignment, a ranked view, and provenance SQL.
+func TestQuickstartEndToEnd(t *testing.T) {
+	gt := goTool(t)
+	out, err := exec.Command(gt, "run", "./examples/quickstart").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run ./examples/quickstart: %v\n%s", err, out)
+	}
+	got := string(out)
+	for _, want := range []string{
+		"candidate alignments",
+		"top-",
+		"columns:",
+		"generated SQL",
+		"SELECT ",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("quickstart output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestQgenDump runs the corpus dumper and sanity-checks the JSON shape.
+func TestQgenDump(t *testing.T) {
+	gt := goTool(t)
+	out, err := exec.Command(gt, "run", "./cmd/qgen", "-dataset", "gbco", "-rows", "1").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run ./cmd/qgen: %v\n%s", err, out)
+	}
+	got := string(out)
+	for _, want := range []string{`"dataset"`, `"gbco"`, `"tables"`, `"foreign_keys"`} {
+		if !strings.Contains(got, want) {
+			t.Errorf("qgen output missing %q", want)
+		}
+	}
+}

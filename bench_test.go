@@ -11,11 +11,14 @@ package qint
 
 import (
 	"fmt"
+	"sync"
 	"testing"
+	"time"
 
 	"qint/internal/core"
 	"qint/internal/datasets"
 	"qint/internal/eval"
+	"qint/internal/matcher"
 	"qint/internal/matcher/mad"
 	"qint/internal/matcher/meta"
 	"qint/internal/relstore"
@@ -284,6 +287,93 @@ func benchQueryAt(b *testing.B, parallelism int) {
 // same comparison standalone.
 func BenchmarkSerialQuery(b *testing.B)   { benchQueryAt(b, 1) }
 func BenchmarkParallelQuery(b *testing.B) { benchQueryAt(b, 0) } // 0 = GOMAXPROCS default
+
+// slowMatcher wraps a matcher with a per-Match pause, standing in for the
+// expensive matchers registrations run in practice (content indexes, large
+// sources, remote services). The contended benchmark uses it so the cost
+// of BLOCKING behind a registration is visible even on one core, where
+// pure CPU work cannot overlap anyway.
+type slowMatcher struct{ inner matcher.Matcher }
+
+func (m slowMatcher) Name() string { return m.inner.Name() }
+func (m slowMatcher) Match(cat *relstore.Catalog, a, b *relstore.Relation) []matcher.Alignment {
+	time.Sleep(5 * time.Millisecond)
+	return m.inner.Match(cat, a, b)
+}
+
+// benchContendedQuery times a keyword query issued at the moment a source
+// registration starts. locked=true simulates the pre-snapshot design by
+// putting the query behind the same RWMutex the registration write-holds
+// (the server's old big lock), so the measured query waits out the whole
+// registration; locked=false is the shipping copy-on-write design — the
+// query takes no lock and answers from the last published snapshot while
+// the registration runs alongside. Each iteration performs exactly one
+// registration in BOTH variants (only the query is timed), so the two
+// runs traverse identical state trajectories and the ratio isolates pure
+// contention. This pair is the regression guard for the snapshot
+// tentpole: if queries ever start blocking behind registrations again,
+// SnapshotContendedQuery collapses to LockedContendedQuery. CI runs both
+// once (-benchtime=1x) so a contention regression fails loudly.
+func benchContendedQuery(b *testing.B, locked bool) {
+	corpus := datasets.GBCO()
+	q := core.New(core.DefaultOptions())
+	q.AddMatcher(slowMatcher{inner: meta.New()})
+	if err := q.AddTables(corpus.Tables...); err != nil {
+		b.Fatal(err)
+	}
+	// One persistent view so each registration's refresh does real work.
+	if _, err := q.Query(corpus.Trials[0].Keywords); err != nil {
+		b.Fatal(err)
+	}
+
+	var mu sync.RWMutex
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		rel := &relstore.Relation{Source: fmt.Sprintf("contend%d", i), Name: "data",
+			Attributes: []relstore.Attribute{{Name: "pubmed_id"}, {Name: "label"}}}
+		tb, err := relstore.NewTable(rel, [][]string{{"PUB00001", "x"}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		regStarted := make(chan struct{})
+		regDone := make(chan error, 1)
+		go func() {
+			if locked {
+				mu.Lock()
+				defer mu.Unlock()
+			}
+			close(regStarted)
+			_, err := q.RegisterSource([]*relstore.Table{tb}, core.Preferential)
+			regDone <- err
+		}()
+		<-regStarted
+		b.StartTimer()
+		if locked {
+			mu.RLock()
+		}
+		v, err := q.Query(corpus.Trials[i%len(corpus.Trials)].Keywords)
+		if locked {
+			mu.RUnlock()
+		}
+		b.StopTimer()
+		if err != nil {
+			b.Fatal(err)
+		}
+		q.DropView(v)
+		if err := <-regDone; err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkLockedContendedQuery and BenchmarkSnapshotContendedQuery: the
+// same query workload under a registration storm, behind the old-style
+// big lock versus lock-free over snapshots. cmd/qbench -exp snapshot
+// prints the same comparison standalone.
+func BenchmarkLockedContendedQuery(b *testing.B)   { benchContendedQuery(b, true) }
+func BenchmarkSnapshotContendedQuery(b *testing.B) { benchContendedQuery(b, false) }
 
 // BenchmarkRegisterSource measures one new-source registration under each
 // strategy against the GBCO corpus.

@@ -3,7 +3,7 @@
 // reports. Use -exp to run a single experiment.
 //
 //	qbench            # run everything
-//	qbench -exp fig7  # one of: table1 fig6 fig7 fig8 fig10 fig11 fig12 table2 ablation propagation parallel
+//	qbench -exp fig7  # one of: table1 fig6 fig7 fig8 fig10 fig11 fig12 table2 ablation propagation parallel snapshot
 package main
 
 import (
@@ -12,16 +12,19 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"qint/internal/core"
 	"qint/internal/datasets"
 	"qint/internal/eval"
+	"qint/internal/matcher"
 	"qint/internal/matcher/meta"
+	"qint/internal/relstore"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig6, fig7, fig8, table1, fig10, fig11, fig12, table2, ablation, parallel")
+	exp := flag.String("exp", "all", "experiment to run: all, fig6, fig7, fig8, table1, fig10, fig11, fig12, table2, ablation, parallel, snapshot")
 	flag.Parse()
 
 	runners := []struct {
@@ -39,6 +42,7 @@ func main() {
 		{"ablation", ablation},
 		{"propagation", propagation},
 		{"parallel", parallel},
+		{"snapshot", snapshot},
 	}
 	ran := false
 	for _, r := range runners {
@@ -243,6 +247,95 @@ func table2() error {
 			steps = "-"
 		}
 		fmt.Printf("%-14.1f %6s\n", r.RecallLevel, steps)
+	}
+	return nil
+}
+
+// slowMatcher stands in for the expensive matchers real registrations run
+// (content indexes, large sources, remote services): a per-Match pause
+// makes the cost of blocking behind a registration visible even on one
+// core, where pure CPU work cannot overlap anyway.
+type slowMatcher struct{ inner matcher.Matcher }
+
+func (m slowMatcher) Name() string { return m.inner.Name() }
+func (m slowMatcher) Match(cat *relstore.Catalog, a, b *relstore.Relation) []matcher.Alignment {
+	time.Sleep(5 * time.Millisecond)
+	return m.inner.Match(cat, a, b)
+}
+
+// snapshot measures the copy-on-write search-graph tentpole: the latency of
+// a keyword query issued at the moment a source registration starts, with
+// the query blocked behind the registration (the old big-lock design,
+// simulated with an RWMutex) versus lock-free over the published snapshot.
+// Each trial performs exactly one registration in both modes, so the two
+// runs traverse identical state; only the query is timed. The standalone
+// counterpart of Benchmark{Locked,Snapshot}ContendedQuery.
+func snapshot() error {
+	corpus := datasets.GBCO()
+	run := func(locked bool) (time.Duration, error) {
+		q := core.New(core.DefaultOptions())
+		q.AddMatcher(slowMatcher{inner: meta.New()})
+		if err := q.AddTables(corpus.Tables...); err != nil {
+			return 0, err
+		}
+		if _, err := q.Query(corpus.Trials[0].Keywords); err != nil {
+			return 0, err
+		}
+		var mu sync.RWMutex
+		var total time.Duration
+		for i, trial := range corpus.Trials {
+			rel := &relstore.Relation{Source: fmt.Sprintf("contend%d", i), Name: "data",
+				Attributes: []relstore.Attribute{{Name: "pubmed_id"}, {Name: "label"}}}
+			tb, err := relstore.NewTable(rel, [][]string{{"PUB00001", "x"}})
+			if err != nil {
+				return 0, err
+			}
+			started := make(chan struct{})
+			done := make(chan error, 1)
+			go func() {
+				if locked {
+					mu.Lock()
+					defer mu.Unlock()
+				}
+				close(started)
+				_, err := q.RegisterSource([]*relstore.Table{tb}, core.Preferential)
+				done <- err
+			}()
+			<-started
+			begin := time.Now()
+			if locked {
+				mu.RLock()
+			}
+			v, err := q.Query(trial.Keywords)
+			if locked {
+				mu.RUnlock()
+			}
+			total += time.Since(begin)
+			if err != nil {
+				return 0, err
+			}
+			q.DropView(v)
+			if err := <-done; err != nil {
+				return 0, err
+			}
+		}
+		return total / time.Duration(len(corpus.Trials)), nil
+	}
+	lockedMean, err := run(true)
+	if err != nil {
+		return err
+	}
+	snapMean, err := run(false)
+	if err != nil {
+		return err
+	}
+	header(fmt.Sprintf("Snapshot contention: mean latency of a query issued as a registration starts (%d trials)",
+		len(corpus.Trials)))
+	fmt.Printf("%-32s %12s\n", "Mode", "Mean/query")
+	fmt.Printf("%-32s %12v\n", "big lock (query waits)", lockedMean)
+	fmt.Printf("%-32s %12v\n", "snapshot (lock-free read)", snapMean)
+	if snapMean > 0 {
+		fmt.Printf("%-32s %12.2fx\n", "speedup", float64(lockedMean)/float64(snapMean))
 	}
 	return nil
 }

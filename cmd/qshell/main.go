@@ -92,7 +92,7 @@ func main() {
 			}
 			view = v
 			fmt.Printf("view created: %d trees, %d answers, alpha=%.3f\n",
-				len(v.Trees), len(v.Result.Rows), v.Alpha)
+				len(v.Trees()), len(v.Result().Rows), v.Alpha())
 			showRows(view, 5)
 		case "rows":
 			if view == nil {
@@ -111,7 +111,7 @@ func main() {
 				fmt.Println("no view; use query first")
 				continue
 			}
-			for i, t := range view.Trees {
+			for i, t := range view.Trees() {
 				fmt.Printf("tree %d cost=%.3f nodes=%d edges=%d\n", i, t.Cost, len(t.Nodes), len(t.Edges))
 			}
 		case "sql":
@@ -119,7 +119,7 @@ func main() {
 				fmt.Println("no view; use query first")
 				continue
 			}
-			for i, cq := range view.Queries {
+			for i, cq := range view.Queries() {
 				fmt.Printf("-- branch %d (cost %.3f)\n%s\n", i, cq.Cost, cq.SQL())
 			}
 		case "good", "bad":
@@ -259,14 +259,14 @@ func main() {
 }
 
 func showRows(v *core.View, n int) {
-	if len(v.Result.Rows) == 0 {
+	if len(v.Result().Rows) == 0 {
 		fmt.Println("(no answers)")
 		return
 	}
-	fmt.Println("columns:", strings.Join(v.Result.Columns, " | "))
-	for i, r := range v.Result.Rows {
+	fmt.Println("columns:", strings.Join(v.Result().Columns, " | "))
+	for i, r := range v.Result().Rows {
 		if i >= n {
-			fmt.Printf("... %d more\n", len(v.Result.Rows)-n)
+			fmt.Printf("... %d more\n", len(v.Result().Rows)-n)
 			break
 		}
 		fmt.Printf("[%d] cost=%.3f  %s\n", i, r.Cost, strings.Join(nonEmpty(r.Values), " | "))

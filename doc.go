@@ -9,24 +9,56 @@
 //
 // # Concurrency model
 //
-// The system is single-writer, many-reader. A core.Q instance accepts one
-// mutation at a time — queries, source registrations and feedback must be
-// serialised by the caller, as the paper's single-user-view model assumes —
-// but inside one call Q fans work across a bounded worker pool
-// (core.Options.Parallelism, default GOMAXPROCS): a view's tree→query
-// translations and conjunctive-query branch executions run concurrently,
-// and Refresh rematerialises persistent views concurrently. The pipeline
-// collects branches by tree index and runs the order-sensitive passes
-// (signature dedup, output-schema alignment, DisjointUnion) as
+// The system is single-writer, many-query, built on copy-on-write
+// snapshots of the shared read state.
+//
+// Writers — AddTables, RegisterSource, feedback, Refresh, AddMatcher,
+// SetParallelism — serialise on core.Q's internal writer mutex. A writer
+// mutates the builder structures (catalog, tf-idf corpus, search graph)
+// copy-on-write and PUBLISHES the result as one immutable state generation
+// via a single atomic pointer swap. The search graph's builder
+// (searchgraph.Graph) freezes its storage when a snapshot is taken and
+// clones it on the next mutation (O(V+E), once per write burst), bumping an
+// epoch counter; the catalog and corpus are cloned shallowly the same way.
+// Published generations are therefore frozen forever.
+//
+// Queries take NO lock at all. core.Query loads the current generation
+// once, expands its keywords into a PRIVATE search-graph overlay
+// (searchgraph.Overlay: the keyword nodes, keyword edges and lazily
+// materialised value nodes of paper §2.2 — per-query state that never
+// enters the shared base), and runs Steiner search, tree→query translation
+// and branch execution entirely against that frozen generation. Any number
+// of queries run fully concurrently with each other and with an in-flight
+// registration or feedback update, with snapshot isolation: a query
+// answers either entirely from the pre-write world or entirely from the
+// post-write world, never a torn mix, and its answer is a pure function of
+// the generation it loaded (no residue from earlier queries — see
+// internal/core/snapshot_test.go, which pins all of this under -race).
+//
+// View materialisations are immutable and swapped atomically per view:
+// Trees/Queries/Result/Alpha read the latest generation lock-free, and
+// View.Current returns all of them as one coherent snapshot. Refresh —
+// which every writer triggers — rebuilds each view against the new
+// generation with a fresh overlay. Overlay node/edge ids extend the base
+// id spaces, so a view's provenance (explain, feedback) resolves against
+// the overlay retained by its materialisation; the overlay dies with it.
+//
+// Inside one materialisation, work still fans across a bounded worker pool
+// (core.Options.Parallelism, default GOMAXPROCS): tree→query translations
+// and conjunctive-query branch executions run concurrently, and Refresh
+// rematerialises persistent views concurrently; a global semaphore bounds
+// in-flight branch executions across all concurrent materialisations. The
+// pipeline collects branches by tree index and runs the order-sensitive
+// passes (signature dedup, output-schema alignment, DisjointUnion) as
 // deterministic post-passes in tree-cost order, so a view materialised at
 // any parallelism is byte-identical — trees, query signatures, ranked rows
 // and α — to the serial result. internal/core/parallel_test.go pins that
 // equivalence metamorphically across the bundled corpora.
 //
-// relstore.Catalog backs the parallel branch executor: registration is the
-// single writer, after which every read path is safe for any number of
-// concurrent readers. The HTTP layer (internal/server) maps the same model
-// onto an RWMutex — GET endpoints share the read lock and serve
-// concurrently, while registration, querying and feedback take the write
-// lock.
+// The HTTP layer (internal/server) inherits the model directly: POST
+// /query is a pure read and takes no server lock (a long registration
+// never blocks it — Benchmark{Locked,Snapshot}ContendedQuery quantifies
+// the difference and CI runs the pair on every push); POST /sources and
+// feedback serialise inside Q; the server's own mutex guards only the
+// id↔view registry.
 package qint

@@ -83,7 +83,7 @@ func pickGoldAnswer(q *core.Q, v *core.View, gold map[string]bool) (target stein
 	goldOnly := func(t steinerTree) (bool, bool) {
 		g, uses := true, false
 		for _, eid := range t.Edges {
-			e := q.Graph.Edge(eid)
+			e := v.Edge(eid)
 			if e.Kind != searchgraph.EdgeAssociation {
 				continue
 			}

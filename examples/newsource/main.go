@@ -34,7 +34,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("view created: %d answers, alpha=%.3f\n", len(view.Result.Rows), view.Alpha)
+	fmt.Printf("view created: %d answers, alpha=%.3f\n", len(view.Result().Rows), view.Alpha())
 	fmt.Println("α-neighbourhood relations:", q.NeighborhoodRelations(view))
 
 	// A new source appears: a journal catalogue whose pubmed identifiers
@@ -71,8 +71,8 @@ func main() {
 
 	// The view has been refreshed; answers may now draw on the new source.
 	fmt.Println("\nrefreshed view:")
-	fmt.Println("columns:", strings.Join(view.Result.Columns, " | "))
-	for i, row := range view.Result.TopK(5) {
+	fmt.Println("columns:", strings.Join(view.Result().Columns, " | "))
+	for i, row := range view.Result().TopK(5) {
 		fmt.Printf("[%d] cost=%.3f %s\n", i, row.Cost, strings.Join(row.Values, " | "))
 	}
 }

@@ -33,16 +33,16 @@ func TestApproxSteinerMode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(va.Trees) == 0 || len(va.Result.Rows) == 0 {
+	if len(va.Trees()) == 0 || len(va.Result().Rows) == 0 {
 		t.Fatal("approximate mode should produce answers")
 	}
 	// The approximation never undercuts the exact optimum.
-	if va.Trees[0].Cost < ve.Trees[0].Cost-1e-9 {
-		t.Errorf("approx best (%v) beats exact best (%v)", va.Trees[0].Cost, ve.Trees[0].Cost)
+	if va.Trees()[0].Cost < ve.Trees()[0].Cost-1e-9 {
+		t.Errorf("approx best (%v) beats exact best (%v)", va.Trees()[0].Cost, ve.Trees()[0].Cost)
 	}
 	// Feedback works in approximate mode too.
-	if len(va.Trees) >= 2 {
-		if err := approx.FeedbackFavorTree(va, va.Trees[1]); err != nil {
+	if len(va.Trees()) >= 2 {
+		if err := approx.FeedbackFavorTree(va, va.Trees()[1]); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -23,6 +23,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"qint/internal/learning"
 	"qint/internal/matcher"
@@ -134,16 +135,44 @@ type Stats struct {
 // Reset zeroes the counters.
 func (s *Stats) Reset() { *s = Stats{} }
 
-// Q is the integration system. It follows a single-writer model: callers
-// serialise queries, registrations and feedback (as the single-user-view
-// model of the paper assumes). Internally, however, one call may fan work
-// across a bounded pool of Options.Parallelism workers — a view's
-// tree→query translations and branch executions run concurrently, and
-// Refresh rematerialises views concurrently. graphMu serialises the
-// graph-mutating phase of materialisation (keyword activation, Steiner
-// search, translation and column alignment all read volatile graph state)
-// while branch execution, which only reads the immutable catalog, overlaps
-// freely across views.
+// qstate is one published generation of Q's shared read state. Writers
+// build the next generation under writerMu and swap it in atomically;
+// queries load it once and work against it for their whole lifetime, so a
+// query sees either entirely the pre-write world or entirely the post-write
+// world — never a torn mix (snapshot isolation).
+type qstate struct {
+	graph  *searchgraph.Snapshot
+	cat    *relstore.Catalog
+	corpus *text.Corpus
+	// parallelism and execSem size the materialisation worker pools:
+	// parallelism bounds per-view fan-out, execSem bounds concurrently
+	// running branch executions across ALL in-flight materialisations so
+	// overlapping queries cannot multiply the pool bound.
+	parallelism int
+	execSem     chan struct{}
+	// epoch counts publishes that changed anything; a view materialisation
+	// records the epoch it was computed at so staleness is one comparison.
+	epoch uint64
+}
+
+// Q is the integration system.
+//
+// Concurrency model: Q is single-writer, many-query. The mutating
+// operations — AddMatcher, AddTables, RegisterSource, feedback, Refresh,
+// SetParallelism, AlignAllPairs — serialise on an internal writer mutex,
+// mutate the builder structures (Catalog, Graph, corpus) copy-on-write,
+// and publish the result as an immutable qstate via one atomic pointer
+// swap. Query takes NO lock at all: it loads the current qstate, expands
+// its keywords into a private search-graph overlay, and runs Steiner
+// search, translation and execution entirely against that frozen
+// generation. Independent queries therefore run fully concurrently with
+// each other AND with an in-flight registration or feedback update; a
+// query observes a write only by starting after its publish.
+//
+// The exported Catalog and Graph fields are the writer-side builders. They
+// are safe to use from single-threaded tools (eval harnesses, qshell, the
+// mediated adapter) but must not be touched while queries are in flight on
+// other goroutines — concurrent readers go through the published snapshot.
 type Q struct {
 	Catalog *relstore.Catalog
 	Graph   *searchgraph.Graph
@@ -155,53 +184,135 @@ type Q struct {
 	mira     *learning.MIRA
 	corpus   *text.Corpus
 
-	views []*View
-
-	// expanded tracks, per keyword, which target nodes already have a
-	// keyword edge, so re-expansion after registration only adds new links.
-	expanded map[string]map[string]bool
-
 	// invalidators are called when the catalog grows (matcher caches).
+	// Accessed under writerMu only.
 	invalidators []func()
 
-	// graphMu serialises the graph phase of materialize across the views a
-	// parallel Refresh is rematerialising.
-	graphMu sync.Mutex
+	// writerMu serialises all mutating operations.
+	writerMu sync.Mutex
+	// st is the published read state; never nil after New.
+	st atomic.Pointer[qstate]
+	// epoch counts state publishes that changed something.
+	epoch uint64
 
-	// execSem bounds concurrently running branch executions across ALL
-	// in-flight materialisations to Options.Parallelism, so a parallel
-	// Refresh of many views cannot multiply the two pool bounds.
-	execSem chan struct{}
+	// viewsMu guards the views registry only (not view contents, which are
+	// swapped atomically per view).
+	viewsMu sync.Mutex
+	views   []*View
 }
 
 // New constructs an empty Q system with the given options and the default
 // initial weight vector.
 func New(opts Options) *Q {
 	o := opts.withDefaults()
-	return &Q{
-		Catalog:  relstore.NewCatalog(),
-		Graph:    searchgraph.New(DefaultWeights()),
-		opts:     o,
-		binner:   learning.DefaultBinner(),
-		mira:     learning.NewMIRA(),
-		corpus:   text.NewCorpus(),
-		expanded: make(map[string]map[string]bool),
-		execSem:  make(chan struct{}, o.Parallelism),
+	q := &Q{
+		Catalog: relstore.NewCatalog(),
+		Graph:   searchgraph.New(DefaultWeights()),
+		opts:    o,
+		binner:  learning.DefaultBinner(),
+		mira:    learning.NewMIRA(),
+		corpus:  text.NewCorpus(),
+	}
+	q.publishLocked()
+	return q
+}
+
+// Options returns the effective options. Writer-side: do not call
+// concurrently with SetParallelism.
+func (q *Q) Options() Options { return q.opts }
+
+// state loads the current published read state.
+func (q *Q) state() *qstate { return q.st.Load() }
+
+// CurrentCatalog returns the published catalog snapshot — the read-side
+// counterpart of the writer-owned Catalog field, safe to use concurrently
+// with writers.
+func (q *Q) CurrentCatalog() *relstore.Catalog { return q.state().cat }
+
+// CurrentGraph returns the published search-graph snapshot — the read-side
+// counterpart of the writer-owned Graph field, safe to use concurrently
+// with writers.
+func (q *Q) CurrentGraph() *searchgraph.Snapshot { return q.state().graph }
+
+// Epoch returns the published state generation (for tests and staleness
+// checks).
+func (q *Q) Epoch() uint64 { return q.state().epoch }
+
+// publishLocked publishes the builder state as the next read generation.
+// Callers hold writerMu (or are inside New, before any concurrency). When
+// nothing changed since the last publish the previous generation is
+// returned unchanged, so idempotent writers do not churn epochs.
+func (q *Q) publishLocked() *qstate {
+	q.corpus.Flush()
+	snap := q.Graph.Snapshot()
+	prev := q.st.Load()
+	if prev != nil && prev.graph == snap && prev.cat == q.Catalog &&
+		prev.corpus == q.corpus && prev.parallelism == q.opts.Parallelism {
+		return prev
+	}
+	sem := make(chan struct{}, q.opts.Parallelism)
+	if prev != nil && cap(prev.execSem) == q.opts.Parallelism {
+		sem = prev.execSem // keep the global execution bound continuous
+	}
+	q.epoch++
+	st := &qstate{
+		graph:       snap,
+		cat:         q.Catalog,
+		corpus:      q.corpus,
+		parallelism: q.opts.Parallelism,
+		execSem:     sem,
+		epoch:       q.epoch,
+	}
+	q.st.Store(st)
+	return st
+}
+
+// unpublishedStateLocked builds a qstate over the CURRENT builder contents
+// without publishing it. Registration uses it mid-flight: target selection
+// and alignment need Steiner searches over the half-built next generation,
+// but concurrent queries must keep seeing the previous one until the write
+// commits atomically at the end.
+func (q *Q) unpublishedStateLocked() *qstate {
+	q.corpus.Flush()
+	prev := q.st.Load()
+	return &qstate{
+		graph:       q.Graph.Snapshot(),
+		cat:         q.Catalog,
+		corpus:      q.corpus,
+		parallelism: q.opts.Parallelism,
+		execSem:     prev.execSem,
+		epoch:       prev.epoch, // not a published generation
 	}
 }
 
-// Options returns the effective options.
-func (q *Q) Options() Options { return q.opts }
+// ownStorageLocked detaches the builder catalog and corpus from the
+// published generation before mutating them (copy-on-write). The graph
+// handles its own COW internally.
+func (q *Q) ownStorageLocked() {
+	st := q.st.Load()
+	if st == nil {
+		return
+	}
+	if st.cat == q.Catalog {
+		q.Catalog = q.Catalog.Clone()
+	}
+	if st.corpus == q.corpus {
+		q.corpus = q.corpus.Clone()
+	}
+}
 
 // SetParallelism resizes the materialisation worker pool. n <= 0 restores
-// the default (runtime.GOMAXPROCS(0)). Like every other mutation, it is a
-// single-writer operation: do not call it while queries are in flight.
+// the default (runtime.GOMAXPROCS(0)). It is a writer operation: queries
+// already in flight keep their generation's pool; new queries see the new
+// size.
 func (q *Q) SetParallelism(n int) {
+	q.writerMu.Lock()
+	defer q.writerMu.Unlock()
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
 	q.opts.Parallelism = n
-	q.execSem = make(chan struct{}, n)
+	q.publishLocked()
 }
 
 // DefaultWeights is the initial weight vector: every learnable edge pays a
@@ -225,6 +336,8 @@ func DefaultWeights() learning.Vector {
 // before running alignments so absent markers are complete. An invalidate
 // function, if the matcher exposes one, is called when the catalog grows.
 func (q *Q) AddMatcher(m matcher.Matcher) {
+	q.writerMu.Lock()
+	defer q.writerMu.Unlock()
 	q.matchers = append(q.matchers, m)
 	w := q.Graph.Weights().Clone()
 	for bin := 0; bin < q.binner.NumBins(); bin++ {
@@ -244,6 +357,7 @@ func (q *Q) AddMatcher(m matcher.Matcher) {
 	if inv, ok := m.(interface{ Invalidate() }); ok {
 		q.invalidators = append(q.invalidators, inv.Invalidate)
 	}
+	q.publishLocked()
 }
 
 // Matchers returns the registered matchers in registration order.
@@ -255,6 +369,17 @@ func (q *Q) Matchers() []matcher.Matcher { return q.matchers }
 // alignment runs — initial sources are assumed interlinked by declared
 // foreign keys (paper §2.1).
 func (q *Q) AddTables(tables ...*relstore.Table) error {
+	q.writerMu.Lock()
+	defer q.writerMu.Unlock()
+	if err := q.addTablesLocked(tables...); err != nil {
+		return err
+	}
+	q.publishLocked()
+	return nil
+}
+
+func (q *Q) addTablesLocked(tables ...*relstore.Table) error {
+	q.ownStorageLocked()
 	for _, t := range tables {
 		if err := q.Catalog.AddTable(t); err != nil {
 			return err
@@ -285,6 +410,7 @@ func (q *Q) AddTables(tables ...*relstore.Table) error {
 }
 
 // indexRelation adds a relation's schema labels to the keyword corpus.
+// Callers hold writerMu and have detached the corpus via ownStorageLocked.
 func (q *Q) indexRelation(rel *relstore.Relation) {
 	qn := rel.QualifiedName()
 	q.corpus.Add("rel:"+qn, rel.Name)
@@ -295,12 +421,18 @@ func (q *Q) indexRelation(rel *relstore.Relation) {
 }
 
 // Views returns the persistent views in creation order.
-func (q *Q) Views() []*View { return q.views }
+func (q *Q) Views() []*View {
+	q.viewsMu.Lock()
+	defer q.viewsMu.Unlock()
+	return append([]*View(nil), q.views...)
+}
 
-// DropView removes a view from the maintenance set; its keyword and value
-// nodes remain in the search graph (topology is append-only) but the view no
-// longer participates in refreshes or VIEWBASEDALIGNER neighbourhoods.
+// DropView removes a view from the maintenance set; the view keeps its
+// last materialisation but no longer participates in refreshes or
+// VIEWBASEDALIGNER neighbourhoods.
 func (q *Q) DropView(v *View) {
+	q.viewsMu.Lock()
+	defer q.viewsMu.Unlock()
 	for i, x := range q.views {
 		if x == v {
 			q.views = append(q.views[:i], q.views[i+1:]...)
@@ -313,7 +445,10 @@ func (q *Q) DropView(v *View) {
 // (or a bootstrap script) rather than a matcher, at high confidence — the
 // "hand-coded schema alignments" of paper §2.1.
 func (q *Q) AddHandCodedAssociation(a, b relstore.AttrRef) {
+	q.writerMu.Lock()
+	defer q.writerMu.Unlock()
 	q.Graph.AddAssociationEdge(a, b, learning.Vector{"handcoded": 1})
+	q.publishLocked()
 }
 
 // parseKeywords splits a query string into keywords, honouring single

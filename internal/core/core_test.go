@@ -122,14 +122,14 @@ func TestQuerySingleSource(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(v.Trees) == 0 {
+	if len(v.Trees()) == 0 {
 		t.Fatal("no trees found")
 	}
-	if v.Result == nil || len(v.Result.Rows) == 0 {
+	if v.Result() == nil || len(v.Result().Rows) == 0 {
 		t.Fatal("no result rows")
 	}
-	if v.Alpha <= 0 {
-		t.Errorf("alpha = %v, want > 0", v.Alpha)
+	if v.Alpha() <= 0 {
+		t.Errorf("alpha = %v, want > 0", v.Alpha())
 	}
 }
 
@@ -141,18 +141,18 @@ func TestQueryJoinAcrossForeignKeys(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(v.Result.Rows) == 0 {
+	if len(v.Result().Rows) == 0 {
 		t.Fatal("expected joined answers")
 	}
 	found := false
-	for _, row := range v.Result.Rows {
+	for _, row := range v.Result().Rows {
 		joined := strings.Join(row.Values, "|")
 		if strings.Contains(joined, "Kringle domain") && strings.Contains(joined, "PUB0001") {
 			found = true
 		}
 	}
 	if !found {
-		t.Errorf("no row relates Kringle to PUB0001; rows: %v", v.Result.Rows)
+		t.Errorf("no row relates Kringle to PUB0001; rows: %v", v.Result().Rows)
 	}
 }
 
@@ -165,10 +165,10 @@ func TestQueryAcrossSourcesViaAssociation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(v.Result.Rows) == 0 {
+	if len(v.Result().Rows) == 0 {
 		t.Fatal("association edge should enable the cross-source join")
 	}
-	row := strings.Join(v.Result.Rows[0].Values, "|")
+	row := strings.Join(v.Result().Rows[0].Values, "|")
 	if !strings.Contains(row, "plasma membrane") || !strings.Contains(row, "Kringle domain") {
 		t.Errorf("top row should relate the two keywords: %q", row)
 	}
@@ -180,7 +180,7 @@ func TestViewRefreshAfterWeightChange(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	before := len(v.Result.Rows)
+	before := len(v.Result().Rows)
 	// Raising the default weight raises all costs but should not break
 	// rematerialisation.
 	w := q.Graph.Weights().Clone()
@@ -189,7 +189,7 @@ func TestViewRefreshAfterWeightChange(t *testing.T) {
 	if err := q.Refresh(); err != nil {
 		t.Fatal(err)
 	}
-	if len(v.Result.Rows) == 0 || before == 0 {
+	if len(v.Result().Rows) == 0 || before == 0 {
 		t.Error("refresh lost the view contents")
 	}
 }
@@ -200,7 +200,7 @@ func TestTreeToQueryProducesValidSQL(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, cq := range v.Queries {
+	for _, cq := range v.Queries() {
 		if err := cq.Validate(q.Catalog); err != nil {
 			t.Errorf("invalid query: %v\nSQL: %s", err, cq.SQL())
 		}
@@ -281,8 +281,8 @@ func TestViewBasedAlignerPrunesTargets(t *testing.T) {
 	// View over the publications corner of the graph.
 	if v, err := q.Query("'PUB0001' title"); err != nil {
 		t.Fatal(err)
-	} else if len(v.Result.Rows) < v.K {
-		t.Fatalf("fixture view must fill its %d slots, has %d rows", v.K, len(v.Result.Rows))
+	} else if len(v.Result().Rows) < v.K {
+		t.Fatalf("fixture view must fill its %d slots, has %d rows", v.K, len(v.Result().Rows))
 	}
 	q.AddMatcher(meta.New())
 
@@ -358,10 +358,10 @@ func TestViewBasedMatchesExhaustiveOnViewResults(t *testing.T) {
 func renderRows(v *View) string {
 	var b strings.Builder
 	k := v.K
-	if k > len(v.Result.Rows) {
-		k = len(v.Result.Rows)
+	if k > len(v.Result().Rows) {
+		k = len(v.Result().Rows)
 	}
-	for _, r := range v.Result.Rows[:k] {
+	for _, r := range v.Result().Rows[:k] {
 		fmt.Fprintf(&b, "%v\n", r.Values)
 	}
 	return b.String()
@@ -421,28 +421,28 @@ func TestFeedbackFavorsTargetTree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(v.Trees) < 2 {
+	if len(v.Trees()) < 2 {
 		t.Skip("fixture produced fewer than 2 trees; nothing to separate")
 	}
 	// Favour the SECOND-ranked tree. A single online MIRA step only
 	// separates the target from the CURRENT k-best set — new trees can
 	// surface — so, exactly as the paper replays its feedback log (§5.2.2),
 	// repeat the feedback until the ranking converges.
-	target := v.Trees[1]
+	target := v.Trees()[1]
 	for i := 0; i < 10; i++ {
 		if err := q.FeedbackFavorTree(v, target); err != nil {
 			t.Fatal(err)
 		}
-		if len(v.Trees) > 0 && v.Trees[0].Key() == target.Key() {
+		if len(v.Trees()) > 0 && v.Trees()[0].Key() == target.Key() {
 			break
 		}
 	}
-	if len(v.Trees) == 0 {
+	if len(v.Trees()) == 0 {
 		t.Fatal("view lost trees after feedback")
 	}
-	if v.Trees[0].Key() != target.Key() {
+	if v.Trees()[0].Key() != target.Key() {
 		t.Errorf("target tree should rank first after repeated feedback; got %s want %s",
-			v.Trees[0].Key(), target.Key())
+			v.Trees()[0].Key(), target.Key())
 	}
 }
 
@@ -452,11 +452,11 @@ func TestFeedbackKeepsEdgeCostsPositive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(v.Trees) < 2 {
+	if len(v.Trees()) < 2 {
 		t.Skip("need at least 2 trees")
 	}
 	for i := 0; i < 5; i++ { // repeated feedback (the paper replays logs)
-		if err := q.FeedbackFavorTree(v, v.Trees[len(v.Trees)-1]); err != nil {
+		if err := q.FeedbackFavorTree(v, v.Trees()[len(v.Trees())-1]); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -481,7 +481,7 @@ func TestFeedbackRowValidAndInvalid(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(v.Result.Rows) == 0 {
+	if len(v.Result().Rows) == 0 {
 		t.Fatal("no rows to give feedback on")
 	}
 	if err := q.FeedbackRow(v, 0, FeedbackValid); err != nil {
@@ -558,9 +558,9 @@ func TestAssocCostThresholdPrunesTrees(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, tr := range v.Trees {
+	for _, tr := range v.Trees() {
 		for _, eid := range tr.Edges {
-			if q.Graph.Edge(eid).Kind == searchgraph.EdgeAssociation {
+			if v.Edge(eid).Kind == searchgraph.EdgeAssociation {
 				t.Errorf("tree uses association edge despite threshold")
 			}
 		}

@@ -26,35 +26,39 @@ type Explanation struct {
 	Keywords []string
 }
 
-// Explain returns the provenance of the view answer at rowIdx.
+// Explain returns the provenance of the view answer at rowIdx, resolved
+// against the view's current materialisation. It is a pure read: safe to
+// call concurrently with queries and writers.
 func (q *Q) Explain(v *View, rowIdx int) (*Explanation, error) {
-	if v.Result == nil || rowIdx < 0 || rowIdx >= len(v.Result.Rows) {
+	mat := v.mat.Load()
+	if mat == nil || mat.result == nil || rowIdx < 0 || rowIdx >= len(mat.result.Rows) {
 		return nil, fmt.Errorf("core: explain row %d out of range", rowIdx)
 	}
-	row := v.Result.Rows[rowIdx]
-	tree, err := q.treeForQuery(v, row.Branch)
+	row := mat.result.Rows[rowIdx]
+	tree, err := treeForQuery(mat, row.Branch)
 	if err != nil {
 		return nil, err
 	}
-	cq, err := q.treeToQuery(tree)
+	cq, err := treeToQuery(mat.st, mat.ov, tree)
 	if err != nil {
 		return nil, err
 	}
+	ov := mat.ov
 	ex := &Explanation{Tree: tree, SQL: cq.SQL(), Cost: row.Cost}
 	for _, eid := range tree.Edges {
-		e := q.Graph.Edge(eid)
+		e := ov.Edge(eid)
 		switch e.Kind {
 		case searchgraph.EdgeAssociation, searchgraph.EdgeForeignKey:
 			ex.Joins = append(ex.Joins, fmt.Sprintf("%s ~ %s (%s, cost %.3f)",
-				e.A, e.B, e.Kind, q.Graph.Cost(eid)))
+				e.A, e.B, e.Kind, ov.Cost(eid)))
 		case searchgraph.EdgeKeyword:
-			se := q.Graph.G.Edge(eid)
-			kwNode, target := q.Graph.Node(se.U), q.Graph.Node(se.V)
+			u, vEnd := ov.Endpoints(eid)
+			kwNode, target := ov.Node(u), ov.Node(vEnd)
 			if kwNode.Kind != searchgraph.KindKeyword {
 				kwNode, target = target, kwNode
 			}
 			ex.Keywords = append(ex.Keywords, fmt.Sprintf("%q matched %s (cost %.3f)",
-				kwNode.Value, target.Label(), q.Graph.Cost(eid)))
+				kwNode.Value, target.Label(), ov.Cost(eid)))
 		}
 	}
 	return ex, nil

@@ -11,15 +11,15 @@ func TestExplain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(v.Result.Rows) == 0 {
+	if len(v.Result().Rows) == 0 {
 		t.Fatal("no rows to explain")
 	}
 	ex, err := q.Explain(v, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ex.Cost != v.Result.Rows[0].Cost {
-		t.Errorf("cost = %v, want %v", ex.Cost, v.Result.Rows[0].Cost)
+	if ex.Cost != v.Result().Rows[0].Cost {
+		t.Errorf("cost = %v, want %v", ex.Cost, v.Result().Rows[0].Cost)
 	}
 	if len(ex.Keywords) == 0 {
 		t.Error("explanation should list keyword matches")
@@ -36,7 +36,7 @@ func TestExplain(t *testing.T) {
 	// The cross-source answer must surface the hand-coded association in
 	// its join provenance.
 	foundJoin := false
-	for i := range v.Result.Rows {
+	for i := range v.Result().Rows {
 		e, err := q.Explain(v, i)
 		if err != nil {
 			t.Fatal(err)

@@ -18,16 +18,19 @@ import (
 // materialised serially. fingerprintView captures everything a view exposes
 // into one comparable string.
 func fingerprintView(v *View) string {
+	// One coherent materialisation: the individual accessors could straddle
+	// a concurrent refresh and mix generations.
+	m := v.Current()
 	var b strings.Builder
-	fmt.Fprintf(&b, "keywords=%v k=%d alpha=%.12f\n", v.Keywords, v.K, v.Alpha)
-	for _, t := range v.Trees {
+	fmt.Fprintf(&b, "keywords=%v k=%d alpha=%.12f\n", v.Keywords, v.K, m.Alpha)
+	for _, t := range m.Trees {
 		fmt.Fprintf(&b, "tree %s cost=%.12f\n", t.Key(), t.Cost)
 	}
-	for _, cq := range v.Queries {
+	for _, cq := range m.Queries {
 		fmt.Fprintf(&b, "query sig=%s\nquery sql=%s\n", cq.Signature(), cq.SQL())
 	}
-	fmt.Fprintf(&b, "cols=%s\n", strings.Join(v.Result.Columns, "|"))
-	for _, r := range v.Result.Rows {
+	fmt.Fprintf(&b, "cols=%s\n", strings.Join(m.Result.Columns, "|"))
+	for _, r := range m.Result.Rows {
 		fmt.Fprintf(&b, "row %q cost=%.12f branch=%d prov=%s\n",
 			r.Values, r.Cost, r.Branch, r.Provenance)
 	}
@@ -204,7 +207,7 @@ func TestParallelQueryEquivalence(t *testing.T) {
 				if fs != fp {
 					t.Errorf("query %q: serial and parallel views differ\nserial:\n%s\nparallel:\n%s", kw, fs, fp)
 				}
-				if len(vs.Trees) == 0 {
+				if len(vs.Trees()) == 0 {
 					t.Errorf("query %q produced no trees; equivalence is vacuous", kw)
 				}
 			}

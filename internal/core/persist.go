@@ -8,7 +8,6 @@ import (
 
 	"qint/internal/relstore"
 	"qint/internal/searchgraph"
-	"qint/internal/steiner"
 )
 
 // qSnapshot bundles the catalog, the search graph (including learned
@@ -47,7 +46,7 @@ func (q *Q) Save(w io.Writer) error {
 		Catalog: json.RawMessage(catBuf.Bytes()),
 		Graph:   json.RawMessage(graphBuf.Bytes()),
 	}
-	for _, v := range q.views {
+	for _, v := range q.Views() {
 		s.Views = append(s.Views, viewSnap{Keywords: v.Keywords, K: v.K})
 	}
 	return json.NewEncoder(w).Encode(s)
@@ -80,30 +79,15 @@ func Load(r io.Reader) (*Q, error) {
 	for _, rel := range cat.Relations() {
 		q.indexRelation(rel)
 	}
-	// Seed the keyword-expansion registry from the loaded graph so that
-	// re-querying the same keywords extends rather than duplicates edges.
-	for _, eid := range graph.EdgesOfKind(searchgraph.EdgeKeyword) {
-		se := graph.G.Edge(eid)
-		kwNode, target := graph.Node(se.U), graph.Node(se.V)
-		if kwNode.Kind != searchgraph.KindKeyword {
-			kwNode, target = target, kwNode
-		}
-		seen := q.expanded[kwNode.Value]
-		if seen == nil {
-			seen = make(map[string]bool)
-			q.expanded[kwNode.Value] = seen
-		}
-		switch target.Kind {
-		case searchgraph.KindAttribute:
-			seen["attr:"+target.Ref.String()] = true
-		case searchgraph.KindRelation:
-			seen["rel:"+target.Rel] = true
-		case searchgraph.KindValue:
-			seen["val:"+target.Ref.String()+"="+target.Value] = true
-		}
-	}
-	// Recreate views: Query re-expands keywords (idempotently — the loaded
-	// graph already holds their nodes and edges) and rematerialises.
+	// Publish the loaded state so queries (which read the published
+	// snapshot, never the builder) see it. Legacy persisted graphs may
+	// carry keyword and value nodes from the pre-overlay design; overlays
+	// reuse such nodes where present and their stale edges stay disabled.
+	q.writerMu.Lock()
+	q.publishLocked()
+	q.writerMu.Unlock()
+	// Recreate views: each Query expands its keywords into a fresh overlay
+	// over the loaded graph and materialises.
 	for _, vs := range s.Views {
 		joined := ""
 		for i, kw := range vs.Keywords {
@@ -120,5 +104,3 @@ func Load(r io.Reader) (*Q, error) {
 	}
 	return q, nil
 }
-
-var _ = steiner.NodeID(0) // steiner node ids flow through edge endpoints above

@@ -13,8 +13,8 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Learn something so the snapshot carries non-default weights.
-	if len(v.Trees) >= 2 {
-		if err := q.FeedbackFavorTree(v, v.Trees[1]); err != nil {
+	if len(v.Trees()) >= 2 {
+		if err := q.FeedbackFavorTree(v, v.Trees()[1]); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -93,11 +93,11 @@ func TestLoadedInstanceKeepsWorking(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(v.Trees) == 0 {
+	if len(v.Trees()) == 0 {
 		t.Error("loaded instance should answer new queries")
 	}
 	// Feedback still works.
-	if len(v.Result.Rows) > 0 {
+	if len(v.Result().Rows) > 0 {
 		if err := q2.FeedbackRow(v, 0, FeedbackValid); err != nil {
 			t.Errorf("feedback on loaded instance: %v", err)
 		}

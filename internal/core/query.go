@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"qint/internal/relstore"
 	"qint/internal/searchgraph"
@@ -15,74 +16,223 @@ import (
 // (keywords, k) plus the current materialisation (top-k query trees, their
 // conjunctive queries and the ranked, unioned result). Views are refreshed
 // whenever search-graph maintenance changes costs or topology.
+//
+// The materialisation is swapped atomically: readers (HTTP handlers, other
+// goroutines) call Trees/Queries/Result/Alpha and get one coherent
+// generation, while a concurrent Refresh builds the next generation aside
+// and publishes it with a pointer store. Keywords and K are immutable after
+// creation.
 type View struct {
 	Keywords []string
 	K        int
 
-	// Alpha is the cost of the k-th (worst) retained query tree — the
-	// pruning radius of VIEWBASEDALIGNER.
-	Alpha float64
+	mat atomic.Pointer[viewMat]
+}
 
+// viewMat is one immutable materialisation of a view: everything computed
+// from one published state generation. Its trees and queries reference node
+// and edge ids of its own overlay (ov), which extends the generation's
+// graph snapshot — so provenance stays resolvable for explain and feedback
+// for as long as the materialisation is current.
+type viewMat struct {
+	epoch     uint64
+	st        *qstate
+	ov        *searchgraph.Overlay
+	terminals []steiner.NodeID
+
+	trees   []steiner.Tree
+	queries []*relstore.ConjunctiveQuery
+	result  *relstore.UnionResult
+	alpha   float64
+}
+
+// Trees returns the view's current top-k Steiner trees (cost order).
+func (v *View) Trees() []steiner.Tree {
+	if m := v.mat.Load(); m != nil {
+		return m.trees
+	}
+	return nil
+}
+
+// Queries returns the view's current conjunctive queries (tree-cost order,
+// signature-deduplicated).
+func (v *View) Queries() []*relstore.ConjunctiveQuery {
+	if m := v.mat.Load(); m != nil {
+		return m.queries
+	}
+	return nil
+}
+
+// Result returns the view's current ranked, unioned result.
+func (v *View) Result() *relstore.UnionResult {
+	if m := v.mat.Load(); m != nil {
+		return m.result
+	}
+	return nil
+}
+
+// Alpha returns the cost of the k-th (worst) retained answer — the pruning
+// radius of VIEWBASEDALIGNER.
+func (v *View) Alpha() float64 {
+	if m := v.mat.Load(); m != nil {
+		return m.alpha
+	}
+	return 0
+}
+
+// Epoch returns the published-state generation the view's current
+// materialisation was computed at.
+func (v *View) Epoch() uint64 {
+	if m := v.mat.Load(); m != nil {
+		return m.epoch
+	}
+	return 0
+}
+
+// Materialization is one coherent, immutable materialisation of a view:
+// everything the view computed from a single published state generation.
+// Use Current when several fields must agree (e.g. rows with their α): the
+// individual accessors each load the latest generation, so two calls that
+// straddle a concurrent Refresh may come from different generations.
+type Materialization struct {
+	Epoch   uint64
 	Trees   []steiner.Tree
 	Queries []*relstore.ConjunctiveQuery
 	Result  *relstore.UnionResult
+	Alpha   float64
 
-	terminals []steiner.NodeID
+	m *viewMat
 }
 
-// Query parses a keyword query ('single quotes' group phrases), expands the
-// search graph into a query graph, computes the top-k Steiner trees,
-// generates and executes their conjunctive queries, and unions the answers
-// into a ranked view. The view is persistent: it is retained for refresh on
-// future search-graph maintenance.
-func (q *Q) Query(query string) (*View, error) {
+// Current returns the view's current materialisation as one coherent
+// snapshot (a single atomic load). Its Node/Edge/EdgeCost methods resolve
+// the ids of ITS trees against ITS overlay — under concurrent writers,
+// prefer them over the View-level shortcuts, which re-load the latest
+// generation on every call.
+func (v *View) Current() Materialization {
+	m := v.mat.Load()
+	if m == nil {
+		return Materialization{}
+	}
+	return Materialization{
+		Epoch:   m.epoch,
+		Trees:   m.trees,
+		Queries: m.queries,
+		Result:  m.result,
+		Alpha:   m.alpha,
+		m:       m,
+	}
+}
+
+// Node resolves a node id of this materialisation's trees — base or
+// overlay — to its search-graph metadata.
+func (m Materialization) Node(id steiner.NodeID) searchgraph.Node {
+	if m.m == nil {
+		return searchgraph.Node{}
+	}
+	return m.m.ov.Node(id)
+}
+
+// Edge resolves an edge id of this materialisation's trees — base or
+// overlay — to its search-graph metadata.
+func (m Materialization) Edge(id steiner.EdgeID) searchgraph.Edge {
+	if m.m == nil {
+		return searchgraph.Edge{}
+	}
+	return m.m.ov.Edge(id)
+}
+
+// EdgeCost returns the cost (at materialisation time) of an edge of this
+// materialisation's trees.
+func (m Materialization) EdgeCost(id steiner.EdgeID) float64 {
+	if m.m == nil {
+		return 0
+	}
+	return m.m.ov.Cost(id)
+}
+
+// Node resolves a node id against the view's LATEST materialisation. The
+// id must come from that same materialisation: callers holding trees
+// across a possible concurrent Refresh should capture Current() once and
+// use its resolvers instead.
+func (v *View) Node(id steiner.NodeID) searchgraph.Node { return v.Current().Node(id) }
+
+// Edge resolves an edge id against the view's LATEST materialisation (see
+// Node for the coherence caveat).
+func (v *View) Edge(id steiner.EdgeID) searchgraph.Edge { return v.Current().Edge(id) }
+
+// EdgeCost returns an edge's cost in the view's LATEST materialisation
+// (see Node for the coherence caveat).
+func (v *View) EdgeCost(id steiner.EdgeID) float64 { return v.Current().EdgeCost(id) }
+
+// Query parses a keyword query ('single quotes' group phrases), expands a
+// private query-graph overlay over the current published snapshot, computes
+// the top-k Steiner trees, generates and executes their conjunctive
+// queries, and unions the answers into a ranked view. The view is
+// persistent: it is retained for refresh on future search-graph
+// maintenance.
+//
+// Query acquires no graph-wide lock: it works entirely against the state
+// generation current at its start, so it runs concurrently with other
+// queries AND with writers. A registration or feedback update committed
+// after the query starts is not visible to it; the next Refresh (which
+// every writer triggers or implies) brings the view up to date.
+func (q *Q) Query(query string) (*View, error) { return q.QueryWith(query, 0) }
+
+// QueryWith is Query with a per-call parallelism override (0 means the
+// published default). The override sizes this call's own translation and
+// execution fan-out; the global in-flight execution bound still applies.
+// Answers are byte-identical at any setting.
+func (q *Q) QueryWith(query string, parallelism int) (*View, error) {
 	keywords := parseKeywords(query)
 	if len(keywords) == 0 {
 		return nil, fmt.Errorf("core: empty keyword query %q", query)
 	}
+	st := q.state()
 	v := &View{Keywords: keywords, K: q.opts.K}
-	for _, kw := range keywords {
-		v.terminals = append(v.terminals, q.expandKeyword(kw))
-	}
-	if err := q.materialize(v); err != nil {
+	mat, err := q.materializeAt(st, v, parallelism)
+	if err != nil {
 		return nil, err
 	}
+	v.mat.Store(mat)
+	q.viewsMu.Lock()
 	q.views = append(q.views, v)
+	q.viewsMu.Unlock()
 	return v, nil
 }
 
-// expandKeyword adds (or extends) the query-graph expansion for one keyword
+// expandKeyword adds one keyword's query-graph expansion to the overlay
 // (paper §2.2): similarity edges to matching schema elements via tf-idf,
-// and lazily-materialised value nodes for matching data values. Re-invoked
-// after registrations, it only adds edges to targets not already linked.
-func (q *Q) expandKeyword(kw string) steiner.NodeID {
-	kwNode := q.Graph.KeywordNode(kw)
-	seen := q.expanded[kw]
-	if seen == nil {
-		seen = make(map[string]bool)
-		q.expanded[kw] = seen
-	}
+// and lazily-materialised value nodes for matching data values. The
+// expansion is a pure function of the state generation — it writes only to
+// the overlay, never to the shared graph.
+func (q *Q) expandKeyword(st *qstate, ov *searchgraph.Overlay, kw string) steiner.NodeID {
+	kwNode := ov.KeywordNode(kw)
 
 	// Metadata matches: attributes and relations by tf-idf cosine.
-	for _, m := range q.corpus.TopMatches(kw, q.opts.MatchThreshold, q.opts.MaxMatchesPerKeyword) {
-		if seen[m.ID] {
-			continue
-		}
-		seen[m.ID] = true
+	for _, m := range st.corpus.TopMatches(kw, q.opts.MatchThreshold, q.opts.MaxMatchesPerKeyword) {
 		switch {
 		case len(m.ID) > 5 && m.ID[:5] == "attr:":
 			ref, err := relstore.ParseAttrRef(m.ID[5:])
 			if err != nil {
 				continue
 			}
-			q.Graph.AddKeywordEdge(kwNode, q.Graph.AttributeNode(ref), m.Score)
+			nid := st.graph.LookupAttribute(ref)
+			if nid < 0 {
+				continue
+			}
+			ov.AddKeywordEdge(kwNode, nid, m.Score)
 		case len(m.ID) > 4 && m.ID[:4] == "rel:":
-			q.Graph.AddKeywordEdge(kwNode, q.Graph.RelationNode(m.ID[4:]), m.Score)
+			nid := st.graph.LookupRelation(m.ID[4:])
+			if nid < 0 {
+				continue
+			}
+			ov.AddKeywordEdge(kwNode, nid, m.Score)
 		}
 	}
 
 	// Data-value matches: lazily create value nodes (paper §2.1/§2.2).
-	hits := q.Catalog.FindValues(kw)
+	hits := st.cat.FindValues(kw)
 	if len(hits) > q.opts.MaxMatchesPerKeyword {
 		// Prefer exact-normalised matches, then fewer-row (more selective)
 		// values, for determinism under truncation.
@@ -98,38 +248,46 @@ func (q *Q) expandKeyword(kw string) steiner.NodeID {
 		hits = hits[:q.opts.MaxMatchesPerKeyword]
 	}
 	for _, h := range hits {
-		key := "val:" + h.Ref.String() + "=" + h.Value
-		if seen[key] {
-			continue
-		}
-		seen[key] = true
 		sim := text.ContainmentSimilarity(kw, h.Value)
 		if sim < q.opts.MatchThreshold {
 			continue
 		}
-		vn := q.Graph.ValueNode(h.Ref, h.Value)
-		q.Graph.AddKeywordEdge(kwNode, vn, sim)
+		vn := ov.ValueNode(h.Ref, h.Value)
+		if vn < 0 {
+			continue // attribute unknown to this graph generation
+		}
+		ov.AddKeywordEdge(kwNode, vn, sim)
 	}
 	return kwNode
 }
 
-// materialize (re)computes a view's trees, queries and result under the
-// current search graph. It runs in two phases. The plan phase (planView,
-// serialised on graphMu) computes the top-k trees and translates them into
-// deduplicated, column-aligned conjunctive queries. The execute phase fans
-// the branch executions across the bounded worker pool; branches are
-// collected by query index, so the DisjointUnion sees them in tree-cost
-// order and the result is byte-identical at any Options.Parallelism.
-func (q *Q) materialize(v *View) error {
-	queries, err := q.planView(v)
+// materializeAt computes a full materialisation of v against one state
+// generation. It runs in two phases. The plan phase expands the keywords
+// into a fresh overlay, computes the top-k trees and translates them into
+// deduplicated, column-aligned conjunctive queries — all against private or
+// frozen data, so no lock is needed. The execute phase fans the branch
+// executions across the bounded worker pool; branches are collected by
+// query index, so the DisjointUnion sees them in tree-cost order and the
+// result is byte-identical at any parallelism.
+func (q *Q) materializeAt(st *qstate, v *View, parallelism int) (*viewMat, error) {
+	workers := parallelism
+	if workers <= 0 {
+		workers = st.parallelism
+	}
+	ov := st.graph.NewOverlay()
+	terminals := make([]steiner.NodeID, 0, len(v.Keywords))
+	for _, kw := range v.Keywords {
+		terminals = append(terminals, q.expandKeyword(st, ov, kw))
+	}
+	trees, queries, err := q.planOverlay(st, ov, terminals, v.K, workers)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	results := make([]*relstore.ResultSet, len(queries))
-	err = runIndexed(len(queries), q.opts.Parallelism, func(i int) error {
-		q.execSem <- struct{}{}
-		defer func() { <-q.execSem }()
-		rs, err := relstore.Execute(q.Catalog, queries[i])
+	err = runIndexed(len(queries), workers, func(i int) error {
+		st.execSem <- struct{}{}
+		defer func() { <-st.execSem }()
+		rs, err := relstore.Execute(st.cat, queries[i])
 		if err != nil {
 			return err
 		}
@@ -137,9 +295,8 @@ func (q *Q) materialize(v *View) error {
 		return nil
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	v.Queries = append(v.Queries[:0], queries...)
 	branches := make([]relstore.Branch, len(queries))
 	for i, cq := range queries {
 		branches[i] = relstore.Branch{
@@ -148,51 +305,52 @@ func (q *Q) materialize(v *View) error {
 			Provenance: cq.Signature(),
 		}
 	}
-	v.Result = relstore.DisjointUnion(branches)
+	result := relstore.DisjointUnion(branches)
 	// α is the cost of the k-th top-scoring RESULT (paper §3.3: "the cost
 	// of the kth top-scoring result for the user view") — when the best
 	// query yields many tuples, α stays at that query's cost, keeping the
 	// VIEWBASEDALIGNER neighbourhood tight. Fall back to the worst retained
 	// tree when the view yields fewer than k tuples.
-	v.Alpha = 0
-	trees := v.Trees
+	alpha := 0.0
 	switch {
-	case len(v.Result.Rows) >= v.K && v.K > 0:
-		v.Alpha = v.Result.Rows[v.K-1].Cost
-	case len(v.Result.Rows) > 0:
-		v.Alpha = v.Result.Rows[len(v.Result.Rows)-1].Cost
-		if len(trees) > 0 && trees[len(trees)-1].Cost > v.Alpha {
-			v.Alpha = trees[len(trees)-1].Cost
+	case len(result.Rows) >= v.K && v.K > 0:
+		alpha = result.Rows[v.K-1].Cost
+	case len(result.Rows) > 0:
+		alpha = result.Rows[len(result.Rows)-1].Cost
+		if len(trees) > 0 && trees[len(trees)-1].Cost > alpha {
+			alpha = trees[len(trees)-1].Cost
 		}
 	case len(trees) > 0:
-		v.Alpha = trees[len(trees)-1].Cost
+		alpha = trees[len(trees)-1].Cost
 	}
-	return nil
+	return &viewMat{
+		epoch:     st.epoch,
+		st:        st,
+		ov:        ov,
+		terminals: terminals,
+		trees:     trees,
+		queries:   queries,
+		result:    result,
+		alpha:     alpha,
+	}, nil
 }
 
-// planView is the graph phase of materialisation: under graphMu it
-// activates the view's keywords, computes and prunes the top-k Steiner
-// trees, fans the tree→query translation across the worker pool (results
-// collected by tree index), and then runs the two order-sensitive
-// post-passes serially in tree-cost order — signature deduplication and
+// planOverlay is the plan phase of materialisation: top-k Steiner trees
+// over the base∪overlay view, pruning, concurrent tree→query translation
+// (results collected by tree index), and the two order-sensitive
+// post-passes run serially in tree-cost order — signature deduplication and
 // the §2.2 output-schema alignment — so the produced query list is
-// deterministic regardless of parallelism. The lock matters during a
-// parallel Refresh: activation rewrites keyword-edge costs, and both
-// translation and alignment read graph state that another view's
-// activation would otherwise be mutating.
-func (q *Q) planView(v *View) ([]*relstore.ConjunctiveQuery, error) {
-	q.graphMu.Lock()
-	defer q.graphMu.Unlock()
-
-	q.Graph.ActivateKeywords(v.terminals)
+// deterministic regardless of parallelism.
+func (q *Q) planOverlay(st *qstate, ov *searchgraph.Overlay, terminals []steiner.NodeID, k, workers int) ([]steiner.Tree, []*relstore.ConjunctiveQuery, error) {
 	var trees []steiner.Tree
 	if q.opts.UseApproxSteiner {
-		trees = q.Graph.G.ApproxTopKSteiner(v.terminals, v.K)
+		trees = steiner.ApproxTopKSteinerOn(ov.View(), terminals, k)
 	} else {
-		trees = q.Graph.G.TopKSteiner(v.terminals, v.K)
+		trees = steiner.TopKSteinerOn(ov.View(), terminals, k)
 	}
 	// Trees whose only way to connect the keywords runs through a disabled
-	// edge are not real answers.
+	// edge (a mapping edge, or a legacy persisted keyword edge) are not
+	// real answers.
 	{
 		kept := trees[:0]
 		for _, t := range trees {
@@ -206,18 +364,17 @@ func (q *Q) planView(v *View) ([]*relstore.ConjunctiveQuery, error) {
 	if q.opts.AssocCostThreshold > 0 {
 		kept := trees[:0]
 		for _, t := range trees {
-			if !q.treeUsesExpensiveAssoc(t) {
+			if !q.treeUsesExpensiveAssoc(ov, t) {
 				kept = append(kept, t)
 			}
 		}
 		trees = kept
 	}
-	v.Trees = trees
 
 	// Translate every tree concurrently; cqs is indexed by tree.
 	cqs := make([]*relstore.ConjunctiveQuery, len(trees))
-	err := runIndexed(len(trees), q.opts.Parallelism, func(i int) error {
-		cq, err := q.treeToQuery(trees[i])
+	err := runIndexed(len(trees), workers, func(i int) error {
+		cq, err := treeToQuery(st, ov, trees[i])
 		if err != nil {
 			return err
 		}
@@ -225,7 +382,7 @@ func (q *Q) planView(v *View) ([]*relstore.ConjunctiveQuery, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	// Deterministic post-passes, in tree-cost order.
@@ -240,54 +397,64 @@ func (q *Q) planView(v *View) ([]*relstore.ConjunctiveQuery, error) {
 	}
 	outputSchema := make(map[string]bool) // QA of §2.2
 	for _, cq := range queries {
-		q.alignOutputColumns(cq, outputSchema)
+		q.alignOutputColumns(st, cq, outputSchema)
 	}
-	return queries, nil
+	return trees, queries, nil
 }
 
-func (q *Q) treeUsesExpensiveAssoc(t steiner.Tree) bool {
+func (q *Q) treeUsesExpensiveAssoc(ov *searchgraph.Overlay, t steiner.Tree) bool {
 	for _, eid := range t.Edges {
-		e := q.Graph.Edge(eid)
-		if e.Kind == searchgraph.EdgeAssociation && q.Graph.Cost(eid) > q.opts.AssocCostThreshold {
+		e := ov.Edge(eid)
+		if e.Kind == searchgraph.EdgeAssociation && ov.Cost(eid) > q.opts.AssocCostThreshold {
 			return true
 		}
 	}
 	return false
 }
 
-// Refresh rematerialises every persistent view (after weight updates or new
-// alignments). Keyword expansions are extended first — serially, since they
-// grow the search graph — so new sources' matches participate; the views
-// then rematerialise across the bounded worker pool. Each view's graph
-// phase serialises on graphMu while branch executions overlap, and views
-// are independent (each owns its trees/queries/result), so the fan-out
-// leaves every view byte-identical to a serial refresh.
+// Refresh rematerialises every persistent view against the current builder
+// state (after weight updates or new alignments). It is a writer
+// operation: the state is published first, then the views rematerialise
+// across the bounded worker pool, each against its own fresh overlay of
+// the new generation, and each swaps its materialisation in atomically.
+// Views are independent, so the fan-out leaves every view byte-identical
+// to a serial refresh.
 func (q *Q) Refresh() error {
-	for _, v := range q.views {
-		for _, kw := range v.Keywords {
-			q.expandKeyword(kw)
+	q.writerMu.Lock()
+	defer q.writerMu.Unlock()
+	return q.refreshLocked()
+}
+
+func (q *Q) refreshLocked() error {
+	st := q.publishLocked()
+	views := q.Views()
+	return runIndexed(len(views), st.parallelism, func(i int) error {
+		mat, err := q.materializeAt(st, views[i], 0)
+		if err != nil {
+			return err
 		}
-	}
-	views := q.views
-	return runIndexed(len(views), q.opts.Parallelism, func(i int) error {
-		return q.materialize(views[i])
+		views[i].mat.Store(mat)
+		return nil
 	})
 }
 
-// TreeQuery converts a Steiner tree over the search graph into a
+// TreeQuery converts a Steiner tree over the builder search graph into a
 // conjunctive query. It is the exported form of the view pipeline's
 // tree-to-query translation, used by the mediated-schema adapter and by
-// tools that want to inspect or execute a tree directly.
+// tools that want to inspect or execute a tree directly. Writer-side: the
+// tree must reference builder-graph ids (not a query overlay's).
 func (q *Q) TreeQuery(t steiner.Tree) (*relstore.ConjunctiveQuery, error) {
-	return q.treeToQuery(t)
+	snap := q.Graph.Snapshot()
+	st := &qstate{graph: snap, cat: q.Catalog, corpus: q.corpus}
+	return treeToQuery(st, snap.NewOverlay(), t)
 }
 
-// treeToQuery converts a Steiner tree over the search graph into a
+// treeToQuery converts a Steiner tree over the query overlay into a
 // conjunctive query (paper §2.2): relation nodes (and relations reached by
 // zero-cost edges from attribute/value nodes) become atoms; foreign-key and
 // association edges become join conditions; keyword→value edges become
 // selection conditions; attribute and value nodes drive the projection.
-func (q *Q) treeToQuery(t steiner.Tree) (*relstore.ConjunctiveQuery, error) {
+func treeToQuery(st *qstate, ov *searchgraph.Overlay, t steiner.Tree) (*relstore.ConjunctiveQuery, error) {
 	cq := &relstore.ConjunctiveQuery{Cost: t.Cost}
 	alias := make(map[string]string) // relation -> alias
 
@@ -303,7 +470,7 @@ func (q *Q) treeToQuery(t steiner.Tree) (*relstore.ConjunctiveQuery, error) {
 
 	// Atoms from every non-keyword node in the tree.
 	for _, nid := range t.Nodes {
-		n := q.Graph.Node(nid)
+		n := ov.Node(nid)
 		switch n.Kind {
 		case searchgraph.KindRelation:
 			ensureAtom(n.Rel)
@@ -314,7 +481,7 @@ func (q *Q) treeToQuery(t steiner.Tree) (*relstore.ConjunctiveQuery, error) {
 
 	// Conditions from edges.
 	for _, eid := range t.Edges {
-		e := q.Graph.Edge(eid)
+		e := ov.Edge(eid)
 		switch e.Kind {
 		case searchgraph.EdgeForeignKey, searchgraph.EdgeAssociation:
 			la := ensureAtom(e.A.Relation)
@@ -324,10 +491,10 @@ func (q *Q) treeToQuery(t steiner.Tree) (*relstore.ConjunctiveQuery, error) {
 				RightAlias: ra, RightAttr: e.B.Attr,
 			})
 		case searchgraph.EdgeKeyword:
-			se := q.Graph.G.Edge(eid)
-			target := q.Graph.Node(se.U)
+			u, vEnd := ov.Endpoints(eid)
+			target := ov.Node(u)
 			if target.Kind == searchgraph.KindKeyword {
-				target = q.Graph.Node(se.V)
+				target = ov.Node(vEnd)
 			}
 			if target.Kind == searchgraph.KindValue {
 				a := ensureAtom(target.Ref.Relation)
@@ -349,7 +516,7 @@ func (q *Q) treeToQuery(t steiner.Tree) (*relstore.ConjunctiveQuery, error) {
 	// merge with compatible columns.
 	nameUsed := make(map[string]bool)
 	for _, atom := range cq.Atoms {
-		rel := q.Catalog.Relation(atom.Relation)
+		rel := st.cat.Relation(atom.Relation)
 		if rel == nil {
 			continue
 		}
@@ -389,8 +556,9 @@ func relationShortName(qualified string) string {
 // each projected attribute a of this query, if a low-cost association edge
 // links a's node to an attribute whose label already appears in the unified
 // output schema QA, rename a to that label (unless this query already
-// outputs it); otherwise a joins QA under its own name.
-func (q *Q) alignOutputColumns(cq *relstore.ConjunctiveQuery, outputSchema map[string]bool) {
+// outputs it); otherwise a joins QA under its own name. Associations are
+// base edges, so the lookup reads the frozen snapshot directly.
+func (q *Q) alignOutputColumns(st *qstate, cq *relstore.ConjunctiveQuery, outputSchema map[string]bool) {
 	aliasRel := make(map[string]string, len(cq.Atoms))
 	for _, a := range cq.Atoms {
 		aliasRel[a.Alias] = a.Relation
@@ -404,7 +572,7 @@ func (q *Q) alignOutputColumns(cq *relstore.ConjunctiveQuery, outputSchema map[s
 			continue // already unified under its own name
 		}
 		ref := relstore.AttrRef{Relation: aliasRel[p.Alias], Attr: p.Attr}
-		if label, ok := q.compatibleOutputLabel(ref, outputSchema); ok && !current[label] {
+		if label, ok := q.compatibleOutputLabel(st, ref, outputSchema); ok && !current[label] {
 			delete(current, p.As)
 			cq.Project[i].As = label
 			current[label] = true
@@ -418,17 +586,17 @@ func (q *Q) alignOutputColumns(cq *relstore.ConjunctiveQuery, outputSchema map[s
 // compatibleOutputLabel finds an attribute a' connected to ref by an
 // association edge of cost below the column-alignment threshold whose label
 // (attribute name) is already in the output schema.
-func (q *Q) compatibleOutputLabel(ref relstore.AttrRef, outputSchema map[string]bool) (string, bool) {
-	nid := q.Graph.LookupAttribute(ref)
+func (q *Q) compatibleOutputLabel(st *qstate, ref relstore.AttrRef, outputSchema map[string]bool) (string, bool) {
+	nid := st.graph.LookupAttribute(ref)
 	if nid < 0 {
 		return "", false
 	}
-	for _, eid := range q.Graph.G.Incident(nid) {
-		e := q.Graph.Edge(eid)
+	for _, eid := range st.graph.Base().Incident(nid) {
+		e := st.graph.Edge(eid)
 		if e.Kind != searchgraph.EdgeAssociation {
 			continue
 		}
-		if q.Graph.Cost(eid) > q.opts.ColumnAlignThreshold {
+		if st.graph.Cost(eid) > q.opts.ColumnAlignThreshold {
 			continue
 		}
 		other := e.A

@@ -60,7 +60,17 @@ type RegisterReport struct {
 // association edges. Views are refreshed afterwards so new results surface.
 //
 // All tables must share one source name, which must be new to the catalog.
+//
+// The whole registration is one atomic write: it builds the next state
+// generation aside (catalog, corpus and graph are copy-on-write) and
+// publishes it in a single pointer swap at the end, so a concurrent query
+// sees either the complete pre-registration world or the complete
+// post-registration world — never a source whose tables exist but whose
+// alignments do not.
 func (q *Q) RegisterSource(tables []*relstore.Table, strategy AlignStrategy) (*RegisterReport, error) {
+	q.writerMu.Lock()
+	defer q.writerMu.Unlock()
+
 	if len(tables) == 0 {
 		return nil, fmt.Errorf("core: RegisterSource with no tables")
 	}
@@ -79,7 +89,7 @@ func (q *Q) RegisterSource(tables []*relstore.Table, strategy AlignStrategy) (*R
 	// Existing relations BEFORE this source joins.
 	existing := q.Catalog.Relations()
 
-	if err := q.AddTables(tables...); err != nil {
+	if err := q.addTablesLocked(tables...); err != nil {
 		return nil, err
 	}
 
@@ -88,19 +98,17 @@ func (q *Q) RegisterSource(tables []*relstore.Table, strategy AlignStrategy) (*R
 		report.NewRelations = append(report.NewRelations, t.Relation.QualifiedName())
 	}
 
-	targets := q.selectTargets(existing, strategy)
+	// Target selection and the alignment fixpoint run against the
+	// UNPUBLISHED next generation: keyword matches against the new source
+	// must exist before target selection (a keyword hitting new data opens
+	// paths from the view's terminals into — and through — the new source,
+	// enlarging the true candidate neighbourhood), but concurrent queries
+	// must not see the half-registered source. unpublishedStateLocked gives
+	// the aligners a coherent snapshot of the work in progress without
+	// publishing it.
+	targets := q.selectTargetsLocked(existing, strategy)
 	for _, rel := range targets {
 		report.TargetsCompared = append(report.TargetsCompared, rel.QualifiedName())
-	}
-
-	// Keyword matches against the NEW source must exist before target
-	// selection: a keyword hitting new data opens paths from the view's
-	// terminals into (and through) the new source, enlarging the true
-	// candidate neighbourhood.
-	for _, v := range q.views {
-		for _, kw := range v.Keywords {
-			q.expandKeyword(kw)
-		}
 	}
 
 	// Align, re-checking the neighbourhood after each round: a new
@@ -138,7 +146,7 @@ func (q *Q) RegisterSource(tables []*relstore.Table, strategy AlignStrategy) (*R
 		if strategy != ViewBased {
 			break
 		}
-		targets = q.selectTargets(existing, strategy)
+		targets = q.selectTargetsLocked(existing, strategy)
 	}
 	report.TargetsCompared = report.TargetsCompared[:0]
 	for _, rel := range existing {
@@ -147,18 +155,20 @@ func (q *Q) RegisterSource(tables []*relstore.Table, strategy AlignStrategy) (*R
 		}
 	}
 
-	if err := q.Refresh(); err != nil {
+	// Commit: one atomic publish, then bring every view up to date.
+	if err := q.refreshLocked(); err != nil {
 		return nil, err
 	}
 	return report, nil
 }
 
-// selectTargets applies the alignment-search strategy to the pre-existing
-// relations.
-func (q *Q) selectTargets(existing []*relstore.Relation, strategy AlignStrategy) []*relstore.Relation {
+// selectTargetsLocked applies the alignment-search strategy to the
+// pre-existing relations, against the current (possibly unpublished)
+// builder state.
+func (q *Q) selectTargetsLocked(existing []*relstore.Relation, strategy AlignStrategy) []*relstore.Relation {
 	switch strategy {
 	case ViewBased:
-		return q.viewBasedTargets(existing)
+		return q.viewBasedTargetsLocked(existing)
 	case Preferential:
 		return q.preferentialTargets(existing)
 	default:
@@ -166,23 +176,34 @@ func (q *Q) selectTargets(existing []*relstore.Relation, strategy AlignStrategy)
 	}
 }
 
-// viewBasedTargets implements GETCOSTNEIGHBORHOOD over all persistent views
-// (Algorithm 2): a relation is a target iff its node — or one of its
+// viewBasedTargetsLocked implements GETCOSTNEIGHBORHOOD over all persistent
+// views (Algorithm 2): a relation is a target iff its node — or one of its
 // attributes' nodes — lies within cost α of every view keyword, where α is
 // the view's k-th best result cost. A view that has NOT yet filled its k
 // result slots cannot prune at all (any new result would enter the top-k),
-// so its radius is unbounded.
-func (q *Q) viewBasedTargets(existing []*relstore.Relation) []*relstore.Relation {
+// so its radius is unbounded. Each view's keywords are re-expanded into a
+// fresh overlay over the in-progress state, so keyword matches into the new
+// source participate in the distances.
+func (q *Q) viewBasedTargetsLocked(existing []*relstore.Relation) []*relstore.Relation {
+	st := q.unpublishedStateLocked()
 	inNeighborhood := make(map[string]bool)
-	for _, v := range q.views {
-		alpha := v.Alpha
-		if v.Result == nil || len(v.Result.Rows) < v.K {
+	for _, v := range q.Views() {
+		mat := v.mat.Load()
+		alpha := 0.0
+		if mat != nil {
+			alpha = mat.alpha
+		}
+		if mat == nil || mat.result == nil || len(mat.result.Rows) < v.K {
 			alpha = math.Inf(1)
 		}
-		q.Graph.ActivateKeywords(v.terminals)
-		nb := q.Graph.G.NeighborhoodIntersect(v.terminals, alpha)
+		ov := st.graph.NewOverlay()
+		terminals := make([]steiner.NodeID, 0, len(v.Keywords))
+		for _, kw := range v.Keywords {
+			terminals = append(terminals, q.expandKeyword(st, ov, kw))
+		}
+		nb := steiner.NeighborhoodIntersectOn(ov.View(), terminals, alpha)
 		for nid := range nb {
-			n := q.Graph.Node(nid)
+			n := ov.Node(nid)
 			switch n.Kind {
 			case searchgraph.KindRelation:
 				inNeighborhood[n.Rel] = true
@@ -327,6 +348,8 @@ func (q *Q) overlappingPairs(a, b *relstore.Relation) map[[2]relstore.AttrRef]bo
 // where the search graph starts with bare tables and the matchers must
 // propose all alignments.
 func (q *Q) AlignAllPairs() *RegisterReport {
+	q.writerMu.Lock()
+	defer q.writerMu.Unlock()
 	report := &RegisterReport{AlignmentsByPair: make(map[string]float64)}
 	rels := q.Catalog.Relations()
 	for _, m := range q.matchers {
@@ -338,6 +361,7 @@ func (q *Q) AlignAllPairs() *RegisterReport {
 		}
 		q.installAlignments(m, candidates, report, true)
 	}
+	q.publishLocked()
 	return report
 }
 
@@ -347,6 +371,8 @@ func (q *Q) AlignAllPairs() *RegisterReport {
 // graph. Used by the Figure 8 scaling experiment, where the synthetic
 // relations carry unrealistic labels that are not worth matching for real.
 func (q *Q) CountTargetComparisons(newRels []*relstore.Relation, strategy AlignStrategy) int {
+	q.writerMu.Lock()
+	defer q.writerMu.Unlock()
 	existing := q.Catalog.Relations()
 	// Exclude the new relations themselves if they are already registered.
 	newSet := make(map[string]bool, len(newRels))
@@ -359,7 +385,7 @@ func (q *Q) CountTargetComparisons(newRels []*relstore.Relation, strategy AlignS
 			pre = append(pre, r)
 		}
 	}
-	targets := q.selectTargets(pre, strategy)
+	targets := q.selectTargetsLocked(pre, strategy)
 	total := 0
 	for _, nr := range newRels {
 		for _, t := range targets {
@@ -370,13 +396,17 @@ func (q *Q) CountTargetComparisons(newRels []*relstore.Relation, strategy AlignS
 }
 
 // NeighborhoodRelations exposes the α-cost neighbourhood relation set of a
-// view (for tests and the qshell explain command).
+// view (for tests and the qshell explain command), computed against the
+// view's current materialisation.
 func (q *Q) NeighborhoodRelations(v *View) []string {
-	q.Graph.ActivateKeywords(v.terminals)
-	nb := q.Graph.G.NeighborhoodIntersect(v.terminals, v.Alpha)
+	mat := v.mat.Load()
+	if mat == nil {
+		return nil
+	}
+	nb := steiner.NeighborhoodIntersectOn(mat.ov.View(), mat.terminals, mat.alpha)
 	set := make(map[string]bool)
 	for nid := range nb {
-		n := q.Graph.Node(nid)
+		n := mat.ov.Node(nid)
 		switch n.Kind {
 		case searchgraph.KindRelation:
 			set[n.Rel] = true
@@ -391,5 +421,3 @@ func (q *Q) NeighborhoodRelations(v *View) []string {
 	sort.Strings(out)
 	return out
 }
-
-var _ = steiner.NodeID(0) // steiner types appear in method signatures via View

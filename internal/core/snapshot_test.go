@@ -1,0 +1,362 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"qint/internal/matcher/mad"
+	"qint/internal/matcher/meta"
+	"qint/internal/relstore"
+)
+
+// The properties under test: Q's copy-on-write snapshots give every query
+// SNAPSHOT ISOLATION. A query runs entirely against the state generation
+// published when it started, so (1) a query concurrent with a registration
+// or feedback update returns results byte-identical to EITHER a quiesced
+// pre-mutation run or a quiesced post-mutation run — never a torn mix;
+// (2) a query issued after a registration returns sees the new source; and
+// (3) queries are stateless — a query's answer is a pure function of the
+// published state, unaffected by whatever other queries ran before it.
+
+// jrnlTables is the new source the isolation tests register mid-query: its
+// pub identifiers overlap ip.pub, so alignment work (and new answers for
+// pub-related keywords) actually happens.
+func jrnlTables(t *testing.T) []*relstore.Table {
+	t.Helper()
+	return []*relstore.Table{mkTable(t,
+		&relstore.Relation{Source: "jrnl", Name: "journal",
+			Attributes: []relstore.Attribute{{Name: "pub_id"}, {Name: "journal_name"}}},
+		[][]string{{"PUB0001", "Nature"}, {"PUB0002", "Science"}, {"PUB0003", "Cell"}})}
+}
+
+// TestSnapshotIsolationUnderRegistration hammers one instance with
+// concurrent queries while a writer registers a new source, and demands
+// every concurrent answer be byte-identical to a quiesced pre-registration
+// or post-registration run. Run under -race this also proves the read path
+// shares no mutable state with the writer.
+func TestSnapshotIsolationUnderRegistration(t *testing.T) {
+	const probe = "entry 'PUB0001'"
+
+	q := newFixtureQ(t, true)
+	q.AddMatcher(meta.New())
+	q.AddMatcher(mad.New())
+
+	// Quiesced pre-mutation fingerprint.
+	v, err := q.Query(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preFP := fingerprintView(v)
+	q.DropView(v)
+
+	const readers = 8
+	const perReader = 6
+	fps := make([][]string, readers)
+	errc := make(chan error, readers+1)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perReader; i++ {
+				qv, err := q.Query(probe)
+				if err != nil {
+					errc <- fmt.Errorf("reader %d: %v", r, err)
+					return
+				}
+				fps[r] = append(fps[r], fingerprintView(qv))
+				q.DropView(qv)
+			}
+			errc <- nil
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		if _, err := q.RegisterSource(jrnlTables(t), Exhaustive); err != nil {
+			errc <- fmt.Errorf("writer: %v", err)
+			return
+		}
+		errc <- nil
+	}()
+	close(start)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Quiesced post-mutation fingerprint.
+	v2, err := q.Query(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	postFP := fingerprintView(v2)
+	q.DropView(v2)
+
+	pre, post := 0, 0
+	for r := range fps {
+		for i, fp := range fps[r] {
+			switch fp {
+			case preFP:
+				pre++
+			case postFP:
+				post++
+			default:
+				t.Fatalf("reader %d query %d: answer matches neither the quiesced pre-registration run nor the post-registration run\ngot:\n%s\npre:\n%s\npost:\n%s",
+					r, i, fp, preFP, postFP)
+			}
+		}
+	}
+	t.Logf("concurrent queries: %d saw the pre-registration snapshot, %d the post-registration snapshot", pre, post)
+	if pre+post != readers*perReader {
+		t.Fatalf("accounted for %d of %d queries", pre+post, readers*perReader)
+	}
+}
+
+// TestQueriesSeeNewSourceAfterRegistration pins the visibility half of the
+// snapshot contract: a query issued after RegisterSource returns must
+// answer from the new source.
+func TestQueriesSeeNewSourceAfterRegistration(t *testing.T) {
+	q := newFixtureQ(t, true)
+	q.AddMatcher(meta.New())
+
+	// "Nature" exists only in the jrnl source; "PUB0001" ties it to ip.pub.
+	const probe = "'Nature' 'PUB0001'"
+	mentionsNature := func(v *View) bool {
+		for _, row := range v.Result().Rows {
+			for _, val := range row.Values {
+				if val == "Nature" {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	before, err := q.Query(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mentionsNature(before) {
+		t.Fatal("probe answer mentions the new source before registration")
+	}
+	if _, err := q.RegisterSource(jrnlTables(t), Exhaustive); err != nil {
+		t.Fatal(err)
+	}
+	after, err := q.Query(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mentionsNature(after) {
+		t.Fatal("query after registration does not see the new source")
+	}
+	// The pre-registration view was refreshed by the registration commit,
+	// so it now sees the new source too.
+	if !mentionsNature(before) {
+		t.Error("persistent view was not refreshed onto the new snapshot")
+	}
+}
+
+// TestWriterHammer runs queries against a storm of writers — repeated
+// registrations and feedback — under -race. Every answer must still match
+// one of the quiesced per-generation fingerprints implied by snapshot
+// isolation; here we only demand queries never error and never observe an
+// empty torn state, plus the race detector's word that no memory is shared
+// unsynchronised.
+func TestWriterHammer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hammer test skipped in -short mode")
+	}
+	q := newFixtureQ(t, true)
+	q.AddMatcher(meta.New())
+
+	fv, err := q.Query("'plasma membrane' 'Kringle domain'")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const readers = 6
+	errc := make(chan error, readers+1)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			probes := []string{"entry 'PUB0001'", "'plasma membrane' acc", "term name", "'Kringle domain' publication"}
+			i := 0
+			for {
+				select {
+				case <-stop:
+					errc <- nil
+					return
+				default:
+				}
+				qv, err := q.Query(probes[(r+i)%len(probes)])
+				if err != nil {
+					errc <- fmt.Errorf("reader %d: %v", r, err)
+					return
+				}
+				if qv.Result() == nil {
+					errc <- fmt.Errorf("reader %d: torn view with nil result", r)
+					return
+				}
+				q.DropView(qv)
+				i++
+			}
+		}(r)
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		// Writers: a run of registrations interleaved with feedback.
+		for i := 0; i < 4; i++ {
+			src := fmt.Sprintf("hammer%d", i)
+			tb := mkTable(t, &relstore.Relation{Source: src, Name: "data",
+				Attributes: []relstore.Attribute{{Name: "pub_id"}, {Name: "note"}}},
+				[][]string{{"PUB0001", fmt.Sprintf("note %d", i)}})
+			if _, err := q.RegisterSource([]*relstore.Table{tb}, ViewBased); err != nil {
+				errc <- fmt.Errorf("writer register %d: %v", i, err)
+				return
+			}
+			if trees := fv.Trees(); len(trees) > 1 {
+				if err := q.FeedbackFavorTree(fv, trees[1]); err != nil {
+					errc <- fmt.Errorf("writer feedback %d: %v", i, err)
+					return
+				}
+			}
+		}
+		errc <- nil
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestQueryStateless pins the ordering semantics the overlay design fixes:
+// a query's answer is a pure function of the published state. Before
+// per-query overlays, core.Query grew the shared graph (keyword nodes,
+// value nodes, per-edge weights), so the SAME keyword query materialised
+// differently — different tree ids, different tie-breaks — depending on
+// which queries ran before it, and feedback interleaved between two
+// identical queries compounded the drift. Now: byte-identical, in both
+// directions.
+func TestQueryStateless(t *testing.T) {
+	const probe = "'plasma membrane' 'Kringle domain'"
+
+	// Same instance: repeating a query with unrelated queries in between
+	// must be byte-identical (no residue from other queries).
+	q := newFixtureQ(t, true)
+	v1, err := q.Query(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp1 := fingerprintView(v1)
+	for _, other := range []string{"entry 'PUB0001'", "term name", "publication title"} {
+		if _, err := q.Query(other); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v2, err := q.Query(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp2 := fingerprintView(v2); fp2 != fp1 {
+		t.Errorf("same query diverged after unrelated queries ran\nfirst:\n%s\nsecond:\n%s", fp1, fp2)
+	}
+
+	// Two instances, different query order: the probe's answer must not
+	// depend on what was asked before it.
+	qa := newFixtureQ(t, true)
+	qb := newFixtureQ(t, true)
+	if _, err := qa.Query("entry 'PUB0001'"); err != nil { // qa asks something else first
+		t.Fatal(err)
+	}
+	va, err := qa.Query(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err := qb.Query(probe) // qb asks the probe first
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprintView(va) != fingerprintView(vb) {
+		t.Error("query answer depends on which queries ran before it")
+	}
+
+	// Feedback interleaved between identical queries on two identical
+	// instances must leave them in identical states: the post-feedback
+	// probe answers are byte-identical across instances (reproducible
+	// ordering semantics), even though feedback legitimately changes the
+	// answer within each instance.
+	q1 := newFixtureQ(t, true)
+	q2 := newFixtureQ(t, true)
+	run := func(q *Q) string {
+		v, err := q.Query(probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trees := v.Trees()
+		if len(trees) > 1 {
+			if err := q.FeedbackFavorTree(v, trees[1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		v2, err := q.Query(probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fingerprintView(v2)
+	}
+	if a, b := run(q1), run(q2); a != b {
+		t.Errorf("identical feedback histories produced different states\nq1:\n%s\nq2:\n%s", a, b)
+	}
+}
+
+// TestBaseGraphBytesStableAcrossQueries is the core-level metamorphic
+// overlay check (the searchgraph-level one lives in that package): the
+// persisted base-graph encoding must be byte-identical before and after a
+// batch of queries — overlays never leak keyword or value state into the
+// shared graph.
+func TestBaseGraphBytesStableAcrossQueries(t *testing.T) {
+	q := newFixtureQ(t, true)
+	var before, after bytesBuffer
+	if err := q.Graph.Save(&before); err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range []string{
+		"'plasma membrane' 'Kringle domain'", "entry 'PUB0001'",
+		"term name", "publication title", "'nucleus' acc",
+	} {
+		if _, err := q.Query(probe); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Graph.Save(&after); err != nil {
+		t.Fatal(err)
+	}
+	if before.String() != after.String() {
+		t.Errorf("base graph bytes changed across queries\nbefore:\n%s\nafter:\n%s", before.String(), after.String())
+	}
+}
+
+// bytesBuffer is a minimal strings.Builder-compatible io.Writer, avoiding
+// an extra import cycle of bytes in this test file's imports.
+type bytesBuffer struct{ b []byte }
+
+func (w *bytesBuffer) Write(p []byte) (int, error) { w.b = append(w.b, p...); return len(p), nil }
+func (w *bytesBuffer) String() string              { return string(w.b) }

@@ -25,7 +25,7 @@ func TestOutputColumnUnification(t *testing.T) {
 		Atoms:   []relstore.Atom{{Relation: "go.term", Alias: "t0"}},
 		Project: []relstore.ProjCol{{Alias: "t0", Attr: "name", As: "name"}},
 	}
-	q.alignOutputColumns(cq1, outputSchema)
+	q.alignOutputColumns(q.state(), cq1, outputSchema)
 	if cq1.Project[0].As != "name" {
 		t.Fatalf("first query keeps its own label, got %q", cq1.Project[0].As)
 	}
@@ -34,7 +34,7 @@ func TestOutputColumnUnification(t *testing.T) {
 		Atoms:   []relstore.Atom{{Relation: "ip.entry", Alias: "t0"}},
 		Project: []relstore.ProjCol{{Alias: "t0", Attr: "name", As: "entry_name"}},
 	}
-	q.alignOutputColumns(cq2, outputSchema)
+	q.alignOutputColumns(q.state(), cq2, outputSchema)
 	if cq2.Project[0].As != "name" {
 		t.Errorf("compatible attribute should be renamed into the shared column, got %q",
 			cq2.Project[0].As)
@@ -52,7 +52,7 @@ func TestOutputColumnUnification(t *testing.T) {
 			{Alias: "t1", Attr: "name", As: "entry_name"},
 		},
 	}
-	q.alignOutputColumns(cq3, outputSchema)
+	q.alignOutputColumns(q.state(), cq3, outputSchema)
 	if cq3.Project[1].As != "entry_name" {
 		t.Errorf("query already outputs 'name'; second compatible column must keep its label, got %q",
 			cq3.Project[1].As)
@@ -77,7 +77,7 @@ func TestOutputColumnUnificationRespectsThreshold(t *testing.T) {
 		Atoms:   []relstore.Atom{{Relation: "ip.entry", Alias: "t0"}},
 		Project: []relstore.ProjCol{{Alias: "t0", Attr: "name", As: "entry_name"}},
 	}
-	q.alignOutputColumns(cq, outputSchema)
+	q.alignOutputColumns(q.state(), cq, outputSchema)
 	if cq.Project[0].As != "entry_name" {
 		t.Errorf("over-threshold association must not merge columns, got %q", cq.Project[0].As)
 	}
@@ -97,12 +97,12 @@ func TestUnifiedColumnsShareValuesEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(v.Result.Rows) == 0 {
+	if len(v.Result().Rows) == 0 {
 		t.Fatal("expected answers")
 	}
 	// Some column must contain values from both relations.
 	colValues := make(map[int]map[string]bool)
-	for _, row := range v.Result.Rows {
+	for _, row := range v.Result().Rows {
 		for i, val := range row.Values {
 			if val == "" {
 				continue
@@ -121,6 +121,6 @@ func TestUnifiedColumnsShareValuesEndToEnd(t *testing.T) {
 	}
 	if !shared {
 		t.Errorf("associated name columns should share one output column; columns: %v / rows %v",
-			v.Result.Columns, len(v.Result.Rows))
+			v.Result().Columns, len(v.Result().Rows))
 	}
 }

@@ -28,11 +28,13 @@ func newInterProQ(corpus *datasets.InterProGOCorpus) (*core.Q, error) {
 }
 
 // isGoldOnly reports whether every association edge of the tree is gold,
-// and whether it uses any association edge at all.
-func isGoldOnly(q *core.Q, t steiner.Tree, gold map[string]bool) (goldOnly, usesAssoc bool) {
+// and whether it uses any association edge at all. Tree edge ids resolve
+// against the view's current materialisation (association edges are base
+// edges, but the tree also carries overlay keyword edges).
+func isGoldOnly(v *core.View, t steiner.Tree, gold map[string]bool) (goldOnly, usesAssoc bool) {
 	goldOnly = true
 	for _, eid := range t.Edges {
-		e := q.Graph.Edge(eid)
+		e := v.Edge(eid)
 		if e.Kind != searchgraph.EdgeAssociation {
 			continue
 		}
@@ -56,7 +58,7 @@ func goldOracle(q *core.Q, v *core.View, gold map[string]bool) (target steiner.T
 	const page = 20
 	found := false
 	for _, t := range q.KBestTrees(v, page) {
-		goldOnly, usesAssoc := isGoldOnly(q, t, gold)
+		goldOnly, usesAssoc := isGoldOnly(v, t, gold)
 		if goldOnly && usesAssoc && !found {
 			target, found = t, true
 		}
@@ -65,7 +67,7 @@ func goldOracle(q *core.Q, v *core.View, gold map[string]bool) (target steiner.T
 		return steiner.Tree{}, nil, false
 	}
 	for _, t := range q.KBestTrees(v, v.K) {
-		if goldOnly, _ := isGoldOnly(q, t, gold); !goldOnly {
+		if goldOnly, _ := isGoldOnly(v, t, gold); !goldOnly {
 			worse = append(worse, t)
 		}
 	}

@@ -87,7 +87,7 @@ func calibrateTrial(q *core.Q, trial datasets.Trial) (*core.View, error) {
 	isBaseTree := func(t steinerTree) bool {
 		touched := make(map[string]bool)
 		for _, nid := range t.Nodes {
-			n := q.Graph.Node(nid)
+			n := v.Node(nid)
 			switch {
 			case n.Rel != "":
 				touched[n.Rel] = true
@@ -104,14 +104,14 @@ func calibrateTrial(q *core.Q, trial datasets.Trial) (*core.View, error) {
 	}
 	const maxRounds = 25
 	for round := 0; round < maxRounds; round++ {
-		if len(v.Trees) == 0 {
+		if len(v.Trees()) == 0 {
 			break
 		}
-		if isBaseTree(v.Trees[0]) {
+		if isBaseTree(v.Trees()[0]) {
 			break // base query is top-scoring: calibrated
 		}
 		applied := false
-		for _, t := range v.Trees {
+		for _, t := range v.Trees() {
 			if isBaseTree(t) {
 				if err := q.FeedbackFavorTree(v, t); err != nil {
 					return nil, err

@@ -244,7 +244,7 @@ func (m *Mediator) answerFor(need []string, chosen []Mapping, conds []Condition,
 		chosenBy[need[i]] = c.Source
 	}
 
-	trees := m.Q.Graph.G.TopKSteiner(terminals, 1)
+	trees := m.Q.Graph.G().TopKSteiner(terminals, 1)
 	if len(trees) == 0 || trees[0].Cost >= searchgraph.DisabledEdgeCost {
 		return // mappings land in disconnected relations
 	}

@@ -49,25 +49,53 @@ func (t *Table) Column(attr string) []string {
 //
 // Concurrency contract: the catalog is single-writer, many-reader. AddTable
 // (the only mutation of tables/order — tables themselves are immutable once
-// added) must be serialised against ALL other calls; Q and the HTTP server
-// enforce this by holding their write locks across registration. Every read
-// method may then be called from any number of goroutines concurrently —
-// Q's parallel branch executor depends on this. The one read path that
-// mutates internal state, the lazily built ValueSet cache, is guarded by
-// valueMu so concurrent readers stay race-free.
+// added) must be serialised against ALL other calls on the SAME Catalog
+// value. Q publishes catalogs copy-on-write: a writer Clones the catalog,
+// mutates the clone, and atomically swaps it into the published snapshot,
+// so concurrent queries keep reading the frozen original. Every read method
+// may be called from any number of goroutines concurrently — Q's parallel
+// branch executor depends on this. The one read path that mutates internal
+// state, the lazily built ValueSet cache, is shared across clones (tables
+// are immutable, so an attribute's value set never changes) and guarded by
+// its own mutex so concurrent readers stay race-free.
 type Catalog struct {
 	tables map[string]*Table // by qualified relation name
 	order  []string          // insertion order of qualified names
 
-	valueMu   sync.RWMutex                    // guards valueSets only
-	valueSets map[AttrRef]map[string]struct{} // lazily built distinct values
+	values *valueCache // lazily built distinct values, shared across clones
+}
+
+// valueCache holds the lazily built per-attribute distinct-value sets. It
+// is shared between a catalog and its clones: sets are keyed by AttrRef and
+// tables are immutable once added, so a cached set stays correct in every
+// catalog generation that contains the attribute.
+type valueCache struct {
+	mu   sync.RWMutex
+	sets map[AttrRef]map[string]struct{}
 }
 
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
 	return &Catalog{
-		tables:    make(map[string]*Table),
-		valueSets: make(map[AttrRef]map[string]struct{}),
+		tables: make(map[string]*Table),
+		values: &valueCache{sets: make(map[AttrRef]map[string]struct{})},
+	}
+}
+
+// Clone returns a copy-on-write clone: the table map and order are copied
+// (tables themselves are immutable and shared), and the value-set cache is
+// shared. Mutating the clone with AddTable leaves the original untouched,
+// which is how Q keeps published catalog snapshots frozen under concurrent
+// readers while a registration builds the next generation.
+func (c *Catalog) Clone() *Catalog {
+	nt := make(map[string]*Table, len(c.tables))
+	for k, v := range c.tables {
+		nt[k] = v
+	}
+	return &Catalog{
+		tables: nt,
+		order:  append([]string(nil), c.order...),
+		values: c.values,
 	}
 }
 
@@ -153,9 +181,9 @@ func (c *Catalog) NumAttributes() int {
 // concurrent use: losers of a racing first computation adopt the winner's
 // cached set, so all callers observe one canonical map per attribute.
 func (c *Catalog) ValueSet(ref AttrRef) map[string]struct{} {
-	c.valueMu.RLock()
-	vs, ok := c.valueSets[ref]
-	c.valueMu.RUnlock()
+	c.values.mu.RLock()
+	vs, ok := c.values.sets[ref]
+	c.values.mu.RUnlock()
 	if ok {
 		return vs
 	}
@@ -173,13 +201,13 @@ func (c *Catalog) ValueSet(ref AttrRef) map[string]struct{} {
 			vs[v] = struct{}{}
 		}
 	}
-	c.valueMu.Lock()
-	if won, ok := c.valueSets[ref]; ok {
+	c.values.mu.Lock()
+	if won, ok := c.values.sets[ref]; ok {
 		vs = won
 	} else {
-		c.valueSets[ref] = vs
+		c.values.sets[ref] = vs
 	}
-	c.valueMu.Unlock()
+	c.values.mu.Unlock()
 	return vs
 }
 

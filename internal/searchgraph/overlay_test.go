@@ -1,0 +1,201 @@
+package searchgraph
+
+import (
+	"bytes"
+	"testing"
+
+	"qint/internal/learning"
+	"qint/internal/relstore"
+	"qint/internal/steiner"
+)
+
+// overlayFixture builds a small two-source graph with an association
+// bridging the sources, the shape every overlay test here works against.
+func overlayFixture(t *testing.T) (*Graph, *relstore.Catalog) {
+	t.Helper()
+	cat := relstore.NewCatalog()
+	mk := func(src, name string, attrs []string, rows [][]string, fks ...relstore.ForeignKey) {
+		rel := &relstore.Relation{Source: src, Name: name, ForeignKeys: fks}
+		for _, a := range attrs {
+			rel.Attributes = append(rel.Attributes, relstore.Attribute{Name: a})
+		}
+		tb, err := relstore.NewTable(rel, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cat.AddTable(tb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("go", "term", []string{"acc", "name"}, [][]string{{"GO:1", "membrane"}, {"GO:2", "nucleus"}})
+	mk("ip", "entry", []string{"entry_ac", "go_id"}, [][]string{{"IPR1", "GO:1"}, {"IPR2", "GO:2"}})
+	g := Build(cat, learning.Vector{"default": 0.1, "fk": 0.9, "mismatch": 1.0})
+	g.AddAssociationEdge(
+		relstore.AttrRef{Relation: "go.term", Attr: "acc"},
+		relstore.AttrRef{Relation: "ip.entry", Attr: "go_id"},
+		learning.Vector{"handcoded": 1})
+	return g, cat
+}
+
+// runOverlayQuery simulates one keyword query against a snapshot: keyword
+// nodes, value nodes, keyword edges, and a Steiner search over the
+// combined view.
+func runOverlayQuery(t *testing.T, snap *Snapshot, kw1, kw2 string) []steiner.Tree {
+	t.Helper()
+	ov := snap.NewOverlay()
+	k1 := ov.KeywordNode(kw1)
+	k2 := ov.KeywordNode(kw2)
+	ov.AddKeywordEdge(k1, snap.LookupAttribute(relstore.AttrRef{Relation: "go.term", Attr: "name"}), 0.8)
+	if vn := ov.ValueNode(relstore.AttrRef{Relation: "go.term", Attr: "name"}, kw1); vn >= 0 {
+		ov.AddKeywordEdge(k1, vn, 1.0)
+	}
+	ov.AddKeywordEdge(k2, snap.LookupRelation("ip.entry"), 0.7)
+	if vn := ov.ValueNode(relstore.AttrRef{Relation: "ip.entry", Attr: "entry_ac"}, kw2); vn >= 0 {
+		ov.AddKeywordEdge(k2, vn, 0.9)
+	}
+	trees := steiner.TopKSteinerOn(ov.View(), []steiner.NodeID{k1, k2}, 3)
+	if len(trees) == 0 {
+		t.Fatal("overlay query found no trees")
+	}
+	return trees
+}
+
+// TestOverlayNeverLeaksIntoBase is the metamorphic persistence check: the
+// base graph's persisted bytes are identical before and after a corpus of
+// overlay queries — keyword nodes, keyword edges and lazily materialised
+// value nodes live and die in the overlay, never touching the base.
+func TestOverlayNeverLeaksIntoBase(t *testing.T) {
+	g, _ := overlayFixture(t)
+	var before bytes.Buffer
+	if err := g.Save(&before); err != nil {
+		t.Fatal(err)
+	}
+	epoch := g.Epoch()
+
+	queries := [][2]string{
+		{"membrane", "IPR1"},
+		{"nucleus", "IPR2"},
+		{"membrane", "IPR2"},
+		{"nucleus", "IPR1"},
+		{"membrane", "IPR1"}, // repeat: same expansion, fresh overlay
+	}
+	for _, kws := range queries {
+		snap := g.Snapshot()
+		runOverlayQuery(t, snap, kws[0], kws[1])
+	}
+
+	var after bytes.Buffer
+	if err := g.Save(&after); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Errorf("overlay queries leaked into the base graph\nbefore: %s\nafter:  %s",
+			before.String(), after.String())
+	}
+	if g.Epoch() != epoch {
+		t.Errorf("overlay queries bumped the builder epoch %d -> %d", epoch, g.Epoch())
+	}
+	if sum := g.Summary(); sum.Keywords != 0 || sum.Values != 0 {
+		t.Errorf("base graph grew %d keyword and %d value nodes", sum.Keywords, sum.Values)
+	}
+}
+
+// TestSnapshotFrozenUnderWriter pins copy-on-write: a snapshot taken
+// before a mutation keeps its exact node/edge counts and costs while the
+// builder moves on, and the builder's epoch advances.
+func TestSnapshotFrozenUnderWriter(t *testing.T) {
+	g, _ := overlayFixture(t)
+	snap := g.Snapshot()
+	nodes, edges := snap.NumNodes(), snap.NumEdges()
+	epoch := snap.Epoch()
+	assocCost := snap.Cost(snap.AssociationList()[0].ID)
+
+	// Writer mutations of every flavour.
+	g.AddAssociationEdge(
+		relstore.AttrRef{Relation: "go.term", Attr: "name"},
+		relstore.AttrRef{Relation: "ip.entry", Attr: "entry_ac"},
+		learning.Vector{"handcoded": 1})
+	w := g.Weights().Clone()
+	w["default"] += 5
+	g.SetWeights(w)
+
+	if snap.NumNodes() != nodes || snap.NumEdges() != edges {
+		t.Errorf("snapshot grew under the writer: %d/%d -> %d/%d nodes/edges",
+			nodes, edges, snap.NumNodes(), snap.NumEdges())
+	}
+	if got := snap.Cost(snap.AssociationList()[0].ID); got != assocCost {
+		t.Errorf("snapshot edge cost changed under SetWeights: %v -> %v", assocCost, got)
+	}
+	if g.Epoch() == epoch {
+		t.Error("builder epoch did not advance across a mutation")
+	}
+	if g.NumEdges() == edges {
+		t.Error("builder did not gain the new edge")
+	}
+	// A fresh snapshot sees the new state.
+	snap2 := g.Snapshot()
+	if snap2.NumEdges() != edges+1 {
+		t.Errorf("new snapshot has %d edges, want %d", snap2.NumEdges(), edges+1)
+	}
+	if snap2.Epoch() == epoch {
+		t.Error("new snapshot should carry the advanced epoch")
+	}
+}
+
+// TestOverlayKeywordEdgeCostMatchesBuilder pins overlay/builder cost
+// parity: an overlay keyword edge must cost exactly what the builder's
+// AddKeywordEdge would have charged — the KwEdgeBaseWeight default enters
+// the overlay cost arithmetic without being written into shared weights,
+// and a learned per-edge weight in the snapshot is honoured.
+func TestOverlayKeywordEdgeCostMatchesBuilder(t *testing.T) {
+	g, _ := overlayFixture(t)
+	attr := relstore.AttrRef{Relation: "go.term", Attr: "name"}
+
+	// Builder path (legacy): creates the node+edge in the base and seeds
+	// the per-edge weight.
+	kwB := g.KeywordNode("membrane")
+	target := g.LookupAttribute(attr)
+	eidB := g.AddKeywordEdge(kwB, target, 0.75)
+	g.ActivateKeywords([]steiner.NodeID{kwB})
+	builderCost := g.Cost(eidB)
+
+	// Overlay path on a fresh identical graph: no weight seeded, default
+	// applied in-place.
+	g2, _ := overlayFixture(t)
+	snap := g2.Snapshot()
+	ov := snap.NewOverlay()
+	kwO := ov.KeywordNode("membrane")
+	eidO := ov.AddKeywordEdge(kwO, snap.LookupAttribute(attr), 0.75)
+	if got := ov.Cost(eidO); got != builderCost {
+		t.Errorf("overlay keyword edge cost %v, builder %v", got, builderCost)
+	}
+	if _, ok := snap.Weights()["edge:kw:membrane->go.term.name"]; ok {
+		t.Error("overlay keyword edge wrote its weight into shared weights")
+	}
+
+	// A learned weight overrides the default in both paths.
+	g2.EnsureWeight("edge:kw:membrane->go.term.name", 0.7)
+	snap2 := g2.Snapshot()
+	ov2 := snap2.NewOverlay()
+	kw2 := ov2.KeywordNode("membrane")
+	eid2 := ov2.AddKeywordEdge(kw2, snap2.LookupAttribute(attr), 0.75)
+	if ov2.Cost(eid2) <= ov.Cost(eidO) {
+		t.Errorf("learned heavier weight should raise the edge cost: %v vs %v",
+			ov2.Cost(eid2), ov.Cost(eidO))
+	}
+}
+
+// TestOverlayDedupsKeywordEdges: re-adding the same (keyword, target) match
+// returns the existing edge instead of a parallel one.
+func TestOverlayDedupsKeywordEdges(t *testing.T) {
+	g, _ := overlayFixture(t)
+	snap := g.Snapshot()
+	ov := snap.NewOverlay()
+	kw := ov.KeywordNode("membrane")
+	target := snap.LookupAttribute(relstore.AttrRef{Relation: "go.term", Attr: "name"})
+	e1 := ov.AddKeywordEdge(kw, target, 0.8)
+	e2 := ov.AddKeywordEdge(kw, target, 0.8)
+	if e1 != e2 {
+		t.Errorf("duplicate keyword match created a parallel edge: %d vs %d", e1, e2)
+	}
+}

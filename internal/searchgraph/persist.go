@@ -43,16 +43,16 @@ const snapshotVersion = 1
 // activation state is not persisted: loaded graphs start with all keyword
 // edges disabled, exactly like freshly created ones.
 func (g *Graph) Save(w io.Writer) error {
-	s := snapshot{Version: snapshotVersion, Weights: g.weights}
-	for _, n := range g.nodes {
+	s := snapshot{Version: snapshotVersion, Weights: g.s.weights}
+	for _, n := range g.s.nodes {
 		sn := snapNode{Kind: int(n.Kind), Rel: n.Rel, Value: n.Value}
 		if n.Ref != (relstore.AttrRef{}) {
 			sn.Ref = n.Ref.String()
 		}
 		s.Nodes = append(s.Nodes, sn)
 	}
-	for _, e := range g.edges {
-		ge := g.G.Edge(e.ID)
+	for _, e := range g.s.edges {
+		ge := g.s.sg.Edge(e.ID)
 		se := snapEdge{
 			Kind:  int(e.Kind),
 			U:     int(ge.U),
@@ -100,13 +100,13 @@ func Load(r io.Reader) (*Graph, error) {
 		id := g.addNode(n)
 		switch n.Kind {
 		case KindRelation:
-			g.relNode[n.Rel] = id
+			g.s.relNode[n.Rel] = id
 		case KindAttribute:
-			g.attrNode[n.Ref] = id
+			g.s.attrNode[n.Ref] = id
 		case KindValue:
-			g.valNode[valueKey{ref: n.Ref, value: n.Value}] = id
+			g.s.valNode[valueKey{ref: n.Ref, value: n.Value}] = id
 		case KindKeyword:
-			g.kwNode[n.Value] = id
+			g.s.kwNode[n.Value] = id
 		}
 	}
 
@@ -142,14 +142,14 @@ func Load(r io.Reader) (*Graph, error) {
 			if kb < ka {
 				ka, kb = kb, ka
 			}
-			g.assocSeen[ka+"~"+kb] = id
+			g.s.assocSeen[ka+"~"+kb] = id
 		case EdgeKeyword:
 			kw := steiner.NodeID(se.U)
-			if g.nodes[kw].Kind != KindKeyword {
+			if g.s.nodes[kw].Kind != KindKeyword {
 				kw = steiner.NodeID(se.V2)
 			}
-			g.kwEdgesOf[kw] = append(g.kwEdgesOf[kw], id)
-			g.G.SetCost(id, DisabledEdgeCost)
+			g.s.kwEdgesOf[kw] = append(g.s.kwEdgesOf[kw], id)
+			g.s.sg.SetCost(id, DisabledEdgeCost)
 		}
 	}
 	return g, nil

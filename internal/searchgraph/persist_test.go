@@ -66,9 +66,9 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		}
 	}
 	// Keyword activation works after load.
-	kw := g2.kwNode["membrane"]
+	kw := g2.s.kwNode["membrane"]
 	g2.ActivateKeywords([]steiner.NodeID{kw})
-	for _, id := range g2.kwEdgesOf[kw] {
+	for _, id := range g2.s.kwEdgesOf[kw] {
 		if g2.Cost(id) >= DisabledEdgeCost {
 			t.Errorf("keyword edge %d still disabled after activation", id)
 		}

@@ -4,10 +4,28 @@
 // are derived as cost = w·f (Equation 1). Zero-cost structural edges
 // (attribute↔relation, value↔attribute) are pinned; foreign-key and
 // association edges are learnable; keyword edges are added per query.
+//
+// # Snapshots and overlays
+//
+// The graph is copy-on-write. A writer owns a *Graph (the builder) and
+// mutates it freely; Snapshot returns an immutable view of the current
+// state, sharing the underlying storage at zero copy cost. The first
+// mutation after a snapshot clones the storage (O(V+E), paid once per write
+// burst), so every published snapshot stays frozen forever and any number
+// of readers can traverse it without locks. Each clone bumps an epoch
+// counter, letting readers detect staleness cheaply.
+//
+// Per-query state — keyword nodes, keyword edges and lazily materialised
+// value nodes — never enters the base graph at all. A query builds an
+// Overlay on top of a Snapshot and runs Steiner search over the combined
+// base∪overlay view; the overlay dies with the query. This is what lets
+// independent queries run fully concurrently: they share the frozen base
+// and each writes only to its own overlay.
 package searchgraph
 
 import (
 	"fmt"
+	"maps"
 	"math"
 	"sort"
 	"strconv"
@@ -131,15 +149,17 @@ type Edge struct {
 const MinEdgeCost = 1e-6
 
 // DisabledEdgeCost is the cost assigned to keyword edges whose keyword is
-// not part of the query being evaluated. Keyword nodes persist across
-// queries (views are long-lived), but a stale keyword node must never act
-// as a cheap bridge inside another query's Steiner tree.
+// not part of the query being evaluated. Fresh queries carry their keyword
+// edges in private overlays, but graphs loaded from old persisted form may
+// still hold base keyword edges, and a stale keyword edge must never act as
+// a cheap bridge inside another query's Steiner tree.
 const DisabledEdgeCost = 1e12
 
-// Graph is the search graph. It owns an underlying steiner.Graph whose edge
-// costs it keeps synchronised with the current weight vector.
-type Graph struct {
-	G *steiner.Graph
+// store is the copy-on-write storage shared between a builder Graph and the
+// snapshots taken from it. A store referenced by any snapshot is frozen; the
+// builder clones it before the next mutation.
+type store struct {
+	sg *steiner.Graph
 
 	nodes []Node
 	edges []Edge
@@ -162,6 +182,39 @@ type Graph struct {
 	weights learning.Vector
 }
 
+// clone copies the store for copy-on-write. Slices of structs are copied
+// (costs and feature pointers mutate element-wise); the inner slices of
+// kwEdgesOf and the steiner adjacency lists are shared, which is safe
+// because appends on the newest store only ever write beyond every frozen
+// header's length. Feature maps are shared too: edge-feature merges replace
+// the map rather than mutating it in place.
+func (s *store) clone() *store {
+	return &store{
+		sg:        s.sg.Clone(),
+		nodes:     append([]Node(nil), s.nodes...),
+		edges:     append([]Edge(nil), s.edges...),
+		relNode:   maps.Clone(s.relNode),
+		attrNode:  maps.Clone(s.attrNode),
+		valNode:   maps.Clone(s.valNode),
+		kwNode:    maps.Clone(s.kwNode),
+		assocSeen: maps.Clone(s.assocSeen),
+		kwEdgesOf: maps.Clone(s.kwEdgesOf),
+		activeKw:  maps.Clone(s.activeKw),
+		weights:   s.weights.Clone(),
+	}
+}
+
+// Graph is the search graph builder, owned by the single writer. It owns an
+// underlying steiner.Graph whose edge costs it keeps synchronised with the
+// current weight vector. Readers never touch a Graph: they take a Snapshot
+// and, per query, an Overlay.
+type Graph struct {
+	s     *store
+	owned bool      // s is not referenced by any snapshot
+	snap  *Snapshot // cached snapshot of the current state
+	epoch uint64    // bumped on every copy-on-write clone
+}
+
 type valueKey struct {
 	ref   relstore.AttrRef
 	value string
@@ -174,32 +227,81 @@ func New(weights learning.Vector) *Graph {
 		weights = learning.Vector{}
 	}
 	return &Graph{
-		G:         steiner.NewGraph(),
-		relNode:   make(map[string]steiner.NodeID),
-		attrNode:  make(map[relstore.AttrRef]steiner.NodeID),
-		valNode:   make(map[valueKey]steiner.NodeID),
-		kwNode:    make(map[string]steiner.NodeID),
-		assocSeen: make(map[string]steiner.EdgeID),
-		kwEdgesOf: make(map[steiner.NodeID][]steiner.EdgeID),
-		activeKw:  make(map[steiner.NodeID]bool),
-		weights:   weights.Clone(),
+		s: &store{
+			sg:        steiner.NewGraph(),
+			relNode:   make(map[string]steiner.NodeID),
+			attrNode:  make(map[relstore.AttrRef]steiner.NodeID),
+			valNode:   make(map[valueKey]steiner.NodeID),
+			kwNode:    make(map[string]steiner.NodeID),
+			assocSeen: make(map[string]steiner.EdgeID),
+			kwEdgesOf: make(map[steiner.NodeID][]steiner.EdgeID),
+			activeKw:  make(map[steiner.NodeID]bool),
+			weights:   weights.Clone(),
+		},
+		owned: true,
 	}
 }
 
-// Weights returns the current weight vector (not a copy).
-func (g *Graph) Weights() learning.Vector { return g.weights }
+// own makes the builder the sole owner of its storage, cloning it if any
+// snapshot still references it. Every mutator calls it first.
+func (g *Graph) own() {
+	if g.owned {
+		return
+	}
+	g.s = g.s.clone()
+	g.owned = true
+	g.snap = nil
+	g.epoch++
+}
+
+// Snapshot returns an immutable view of the current graph state. Taking a
+// snapshot is O(1): it freezes the current storage (the next mutation pays
+// one O(V+E) clone) and is cached until the graph changes, so repeated
+// publishes of an unchanged graph return the same pointer.
+func (g *Graph) Snapshot() *Snapshot {
+	if g.snap == nil {
+		g.snap = &Snapshot{s: g.s, epoch: g.epoch}
+	}
+	g.owned = false
+	return g.snap
+}
+
+// Epoch returns the builder's mutation epoch: it increments on the first
+// mutation after each snapshot.
+func (g *Graph) Epoch() uint64 { return g.epoch }
+
+// G returns the underlying steiner graph of the builder. Mutating it
+// directly bypasses copy-on-write; use it only for reads and tests.
+func (g *Graph) G() *steiner.Graph { return g.s.sg }
+
+// Weights returns the current weight vector (not a copy; do not mutate).
+func (g *Graph) Weights() learning.Vector { return g.s.weights }
 
 // SetWeights replaces the weight vector and recomputes every learnable edge
 // cost.
 func (g *Graph) SetWeights(w learning.Vector) {
-	g.weights = w.Clone()
-	for i := range g.edges {
+	g.own()
+	g.s.weights = w.Clone()
+	for i := range g.s.edges {
 		g.refreshCost(steiner.EdgeID(i))
 	}
 }
 
+// EnsureWeight installs a default weight for a feature that has none yet
+// (the per-edge keyword weights w_2, w_3, … of Figure 3 are seeded this way
+// before a MIRA update touches them). It reports whether the default was
+// installed.
+func (g *Graph) EnsureWeight(feature string, def float64) bool {
+	if _, ok := g.s.weights[feature]; ok {
+		return false
+	}
+	g.own()
+	g.s.weights[feature] = def
+	return true
+}
+
 // Cost returns the current cost of an edge.
-func (g *Graph) Cost(id steiner.EdgeID) float64 { return g.G.Edge(id).Cost }
+func (g *Graph) Cost(id steiner.EdgeID) float64 { return g.s.sg.Edge(id).Cost }
 
 // EdgeCostFor computes what an edge's cost would be under an arbitrary
 // weight vector, without mutating the graph. Costs are quantised to 1e-9:
@@ -207,7 +309,11 @@ func (g *Graph) Cost(id steiner.EdgeID) float64 { return g.G.Edge(id).Cost }
 // float result vary run to run, and unquantised costs would flip
 // tie-breaks in top-k tree selection nondeterministically.
 func (g *Graph) EdgeCostFor(id steiner.EdgeID, w learning.Vector) float64 {
-	e := g.edges[id]
+	return g.s.edgeCostFor(id, w)
+}
+
+func (s *store) edgeCostFor(id steiner.EdgeID, w learning.Vector) float64 {
+	e := s.edges[id]
 	if e.Fixed {
 		return 0
 	}
@@ -218,73 +324,76 @@ func (g *Graph) EdgeCostFor(id steiner.EdgeID, w learning.Vector) float64 {
 	return c
 }
 
+// refreshCost recomputes one edge's steiner cost; callers hold ownership.
 func (g *Graph) refreshCost(id steiner.EdgeID) {
-	if g.edges[id].Kind == EdgeMapping {
-		g.G.SetCost(id, DisabledEdgeCost)
+	if g.s.edges[id].Kind == EdgeMapping {
+		g.s.sg.SetCost(id, DisabledEdgeCost)
 		return
 	}
-	if e := g.edges[id]; e.Kind == EdgeKeyword {
-		se := g.G.Edge(id)
+	if e := g.s.edges[id]; e.Kind == EdgeKeyword {
+		se := g.s.sg.Edge(id)
 		kw := se.U
-		if g.nodes[kw].Kind != KindKeyword {
+		if g.s.nodes[kw].Kind != KindKeyword {
 			kw = se.V
 		}
-		if !g.activeKw[kw] {
-			g.G.SetCost(id, DisabledEdgeCost)
+		if !g.s.activeKw[kw] {
+			g.s.sg.SetCost(id, DisabledEdgeCost)
 			return
 		}
 	}
-	g.G.SetCost(id, g.EdgeCostFor(id, g.weights))
+	g.s.sg.SetCost(id, g.s.edgeCostFor(id, g.s.weights))
 }
 
 // Node returns the node with the given id.
-func (g *Graph) Node(id steiner.NodeID) Node { return g.nodes[id] }
+func (g *Graph) Node(id steiner.NodeID) Node { return g.s.nodes[id] }
 
 // Edge returns the search-graph edge metadata for an edge id.
-func (g *Graph) Edge(id steiner.EdgeID) Edge { return g.edges[id] }
+func (g *Graph) Edge(id steiner.EdgeID) Edge { return g.s.edges[id] }
 
 // NumNodes returns the node count.
-func (g *Graph) NumNodes() int { return len(g.nodes) }
+func (g *Graph) NumNodes() int { return len(g.s.nodes) }
 
 // NumEdges returns the edge count.
-func (g *Graph) NumEdges() int { return len(g.edges) }
+func (g *Graph) NumEdges() int { return len(g.s.edges) }
 
-// addNode appends a node with a parallel steiner node.
+// addNode appends a node with a parallel steiner node; callers own storage.
 func (g *Graph) addNode(n Node) steiner.NodeID {
-	id := g.G.AddNode()
+	id := g.s.sg.AddNode()
 	n.ID = id
-	g.nodes = append(g.nodes, n)
+	g.s.nodes = append(g.s.nodes, n)
 	return id
 }
 
-// addEdge appends an edge with a parallel steiner edge at the right cost.
+// addEdge appends an edge with a parallel steiner edge at the right cost;
+// callers own storage.
 func (g *Graph) addEdge(u, v steiner.NodeID, e Edge) steiner.EdgeID {
 	var cost float64
 	if !e.Fixed {
-		cost = math.Round(g.weights.Dot(e.Features)*1e9) / 1e9
+		cost = math.Round(g.s.weights.Dot(e.Features)*1e9) / 1e9
 		if cost < MinEdgeCost {
 			cost = MinEdgeCost
 		}
 	}
-	id := g.G.AddEdge(u, v, cost)
+	id := g.s.sg.AddEdge(u, v, cost)
 	e.ID = id
-	g.edges = append(g.edges, e)
+	g.s.edges = append(g.s.edges, e)
 	return id
 }
 
 // RelationNode returns (and creates if needed) the node for a relation.
 func (g *Graph) RelationNode(qualified string) steiner.NodeID {
-	if id, ok := g.relNode[qualified]; ok {
+	if id, ok := g.s.relNode[qualified]; ok {
 		return id
 	}
+	g.own()
 	id := g.addNode(Node{Kind: KindRelation, Rel: qualified})
-	g.relNode[qualified] = id
+	g.s.relNode[qualified] = id
 	return id
 }
 
 // LookupRelation returns the relation node id, or -1 if absent.
 func (g *Graph) LookupRelation(qualified string) steiner.NodeID {
-	if id, ok := g.relNode[qualified]; ok {
+	if id, ok := g.s.relNode[qualified]; ok {
 		return id
 	}
 	return -1
@@ -293,11 +402,12 @@ func (g *Graph) LookupRelation(qualified string) steiner.NodeID {
 // AttributeNode returns (and creates if needed) the node for an attribute,
 // wiring the fixed zero-cost attribute↔relation edge on creation.
 func (g *Graph) AttributeNode(ref relstore.AttrRef) steiner.NodeID {
-	if id, ok := g.attrNode[ref]; ok {
+	if id, ok := g.s.attrNode[ref]; ok {
 		return id
 	}
+	g.own()
 	id := g.addNode(Node{Kind: KindAttribute, Ref: ref})
-	g.attrNode[ref] = id
+	g.s.attrNode[ref] = id
 	rel := g.RelationNode(ref.Relation)
 	g.addEdge(id, rel, Edge{Kind: EdgeAttrRel, Fixed: true})
 	return id
@@ -305,35 +415,39 @@ func (g *Graph) AttributeNode(ref relstore.AttrRef) steiner.NodeID {
 
 // LookupAttribute returns the attribute node id, or -1 if absent.
 func (g *Graph) LookupAttribute(ref relstore.AttrRef) steiner.NodeID {
-	if id, ok := g.attrNode[ref]; ok {
+	if id, ok := g.s.attrNode[ref]; ok {
 		return id
 	}
 	return -1
 }
 
 // ValueNode returns (and creates if needed) the node for a data value,
-// wiring the fixed zero-cost value↔attribute edge on creation. Value nodes
-// are only materialised lazily for keyword matches (paper §2.1: "for
-// efficiency reasons we will add tuple nodes as needed").
+// wiring the fixed zero-cost value↔attribute edge on creation. Query
+// execution materialises value nodes in per-query overlays instead; this
+// builder form remains for tests and persisted-graph compatibility.
 func (g *Graph) ValueNode(ref relstore.AttrRef, value string) steiner.NodeID {
 	k := valueKey{ref: ref, value: value}
-	if id, ok := g.valNode[k]; ok {
+	if id, ok := g.s.valNode[k]; ok {
 		return id
 	}
+	g.own()
 	id := g.addNode(Node{Kind: KindValue, Ref: ref, Value: value})
-	g.valNode[k] = id
+	g.s.valNode[k] = id
 	attr := g.AttributeNode(ref)
 	g.addEdge(id, attr, Edge{Kind: EdgeValueAttr, Fixed: true})
 	return id
 }
 
 // KeywordNode returns (and creates if needed) the node for a query keyword.
+// Query execution uses overlay keyword nodes instead; this builder form
+// remains for tests and persisted-graph compatibility.
 func (g *Graph) KeywordNode(keyword string) steiner.NodeID {
-	if id, ok := g.kwNode[keyword]; ok {
+	if id, ok := g.s.kwNode[keyword]; ok {
 		return id
 	}
+	g.own()
 	id := g.addNode(Node{Kind: KindKeyword, Value: keyword})
-	g.kwNode[keyword] = id
+	g.s.kwNode[keyword] = id
 	return id
 }
 
@@ -341,6 +455,7 @@ func (g *Graph) KeywordNode(keyword string) steiner.NodeID {
 // edge carrying the standard feature set. from and to are the joined
 // attribute pair declared by the foreign key.
 func (g *Graph) AddForeignKeyEdge(from, to relstore.AttrRef) steiner.EdgeID {
+	g.own()
 	u := g.RelationNode(from.Relation)
 	v := g.RelationNode(to.Relation)
 	edgeKey := fmt.Sprintf("fk:%s->%s", from, to)
@@ -366,12 +481,18 @@ func (g *Graph) AddAssociationEdge(a, b relstore.AttrRef, features learning.Vect
 		ka, kb = kb, ka
 	}
 	pairKey := ka + "~" + kb
-	if id, ok := g.assocSeen[pairKey]; ok {
-		e := &g.edges[id]
-		mergeMatcherFeatures(e.Features, features)
+	if id, ok := g.s.assocSeen[pairKey]; ok {
+		g.own()
+		// Replace the feature map rather than mutating it: frozen snapshots
+		// share feature pointers with the builder.
+		e := &g.s.edges[id]
+		merged := e.Features.Clone()
+		mergeMatcherFeatures(merged, features)
+		e.Features = merged
 		g.refreshCost(id)
 		return id
 	}
+	g.own()
 	features = features.Clone()
 	mergeMatcherFeatures(features, nil)
 	u := g.AttributeNode(a)
@@ -386,7 +507,7 @@ func (g *Graph) AddAssociationEdge(a, b relstore.AttrRef, features learning.Vect
 		f[k] = x
 	}
 	id := g.addEdge(u, v, Edge{Kind: EdgeAssociation, Features: f, A: a, B: b})
-	g.assocSeen[pairKey] = id
+	g.s.assocSeen[pairKey] = id
 	return id
 }
 
@@ -450,11 +571,15 @@ func parseMatcherBin(key string) (name string, bin int, ok bool) {
 // rank mappings with EdgeCostFor instead.
 func (g *Graph) AddMappingEdge(mediatedAttr, source relstore.AttrRef, features learning.Vector) steiner.EdgeID {
 	pairKey := "map:" + mediatedAttr.String() + "~" + source.String()
-	if id, ok := g.assocSeen[pairKey]; ok {
-		e := &g.edges[id]
-		mergeMatcherFeatures(e.Features, features)
+	if id, ok := g.s.assocSeen[pairKey]; ok {
+		g.own()
+		e := &g.s.edges[id]
+		merged := e.Features.Clone()
+		mergeMatcherFeatures(merged, features)
+		e.Features = merged
 		return id
 	}
+	g.own()
 	features = features.Clone()
 	mergeMatcherFeatures(features, nil)
 	f := learning.Vector{
@@ -468,8 +593,8 @@ func (g *Graph) AddMappingEdge(mediatedAttr, source relstore.AttrRef, features l
 	u := g.AttributeNode(mediatedAttr)
 	v := g.AttributeNode(source)
 	id := g.addEdge(u, v, Edge{Kind: EdgeMapping, Features: f, A: mediatedAttr, B: source})
-	g.G.SetCost(id, DisabledEdgeCost)
-	g.assocSeen[pairKey] = id
+	g.s.sg.SetCost(id, DisabledEdgeCost)
+	g.s.assocSeen[pairKey] = id
 	return id
 }
 
@@ -480,7 +605,7 @@ func (g *Graph) HasAssociation(a, b relstore.AttrRef) bool {
 	if kb < ka {
 		ka, kb = kb, ka
 	}
-	_, ok := g.assocSeen[ka+"~"+kb]
+	_, ok := g.s.assocSeen[ka+"~"+kb]
 	return ok
 }
 
@@ -500,53 +625,59 @@ const KwEdgeBaseWeight = 0.2
 // edges sharing a weight with every other edge would let the learner
 // inflate all keyword costs at once, destroying the tight α radii that
 // VIEWBASEDALIGNER's pruning relies on (§3.3).
+//
+// Query execution uses Overlay.AddKeywordEdge instead; this builder form
+// remains for tests and persisted-graph compatibility.
 func (g *Graph) AddKeywordEdge(kw steiner.NodeID, target steiner.NodeID, sim float64) steiner.EdgeID {
+	g.own()
 	if sim < 0 {
 		sim = 0
 	}
 	if sim > 1 {
 		sim = 1
 	}
-	edgeFeat := "edge:kw:" + g.nodes[kw].Value + "->" + g.nodes[target].Label()
-	if _, ok := g.weights[edgeFeat]; !ok {
-		g.weights[edgeFeat] = KwEdgeBaseWeight
+	edgeFeat := "edge:kw:" + g.s.nodes[kw].Value + "->" + g.s.nodes[target].Label()
+	if _, ok := g.s.weights[edgeFeat]; !ok {
+		g.s.weights[edgeFeat] = KwEdgeBaseWeight
 	}
 	f := learning.Vector{
 		"mismatch": 1 - sim,
 		edgeFeat:   1,
 	}
 	id := g.addEdge(kw, target, Edge{Kind: EdgeKeyword, Features: f})
-	g.kwEdgesOf[kw] = append(g.kwEdgesOf[kw], id)
-	if !g.activeKw[kw] {
-		g.G.SetCost(id, DisabledEdgeCost)
+	g.s.kwEdgesOf[kw] = append(g.s.kwEdgesOf[kw], id)
+	if !g.s.activeKw[kw] {
+		g.s.sg.SetCost(id, DisabledEdgeCost)
 	}
 	return id
 }
 
 // ActivateKeywords enables exactly the given keyword nodes' edges for the
-// next Steiner computation, disabling every other keyword's edges. Call it
-// before each query-graph evaluation; the active set persists until the
-// next call.
+// next Steiner computation over the builder graph, disabling every other
+// keyword's edges. Overlay-based queries do not need activation (an overlay
+// holds only its own query's keyword edges, all live by construction); this
+// remains for builder-graph Steiner runs in tests and tools.
 func (g *Graph) ActivateKeywords(keywords []steiner.NodeID) {
+	g.own()
 	want := make(map[steiner.NodeID]bool, len(keywords))
 	for _, k := range keywords {
 		want[k] = true
 	}
 	// Disable edges of keywords leaving the active set.
-	for k := range g.activeKw {
+	for k := range g.s.activeKw {
 		if !want[k] {
-			for _, id := range g.kwEdgesOf[k] {
-				g.G.SetCost(id, DisabledEdgeCost)
+			for _, id := range g.s.kwEdgesOf[k] {
+				g.s.sg.SetCost(id, DisabledEdgeCost)
 			}
-			delete(g.activeKw, k)
+			delete(g.s.activeKw, k)
 		}
 	}
 	// Enable (recompute) edges of keywords entering it. Mark active first:
 	// refreshCost consults the active set.
 	for k := range want {
-		if !g.activeKw[k] {
-			g.activeKw[k] = true
-			for _, id := range g.kwEdgesOf[k] {
+		if !g.s.activeKw[k] {
+			g.s.activeKw[k] = true
+			for _, id := range g.s.kwEdgesOf[k] {
 				g.refreshCost(id)
 			}
 		}
@@ -554,7 +685,7 @@ func (g *Graph) ActivateKeywords(keywords []steiner.NodeID) {
 }
 
 // KeywordActive reports whether a keyword node's edges are currently live.
-func (g *Graph) KeywordActive(kw steiner.NodeID) bool { return g.activeKw[kw] }
+func (g *Graph) KeywordActive(kw steiner.NodeID) bool { return g.s.activeKw[kw] }
 
 // Associations returns every association edge with its endpoints, sorted by
 // edge id, for evaluation against gold standards.
@@ -565,14 +696,16 @@ type Association struct {
 }
 
 // AssociationList returns all association edges in id order.
-func (g *Graph) AssociationList() []Association {
+func (g *Graph) AssociationList() []Association { return g.s.associationList() }
+
+func (s *store) associationList() []Association {
 	var out []Association
-	for _, e := range g.edges {
+	for _, e := range s.edges {
 		if e.Kind != EdgeAssociation {
 			continue
 		}
-		se := g.G.Edge(e.ID)
-		na, nb := g.nodes[se.U], g.nodes[se.V]
+		se := s.sg.Edge(e.ID)
+		na, nb := s.nodes[se.U], s.nodes[se.V]
 		out = append(out, Association{ID: e.ID, A: na.Ref, B: nb.Ref, Cost: se.Cost})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
@@ -582,7 +715,7 @@ func (g *Graph) AssociationList() []Association {
 // EdgesOfKind returns the ids of all edges of the given kind, ascending.
 func (g *Graph) EdgesOfKind(kind EdgeKind) []steiner.EdgeID {
 	var out []steiner.EdgeID
-	for _, e := range g.edges {
+	for _, e := range g.s.edges {
 		if e.Kind == kind {
 			out = append(out, e.ID)
 		}
@@ -597,24 +730,26 @@ type Stats struct {
 }
 
 // Summary computes node/edge counts by kind.
-func (g *Graph) Summary() Stats {
-	s := Stats{ByEdgeKind: make(map[EdgeKind]int)}
-	for _, n := range g.nodes {
+func (g *Graph) Summary() Stats { return g.s.summary() }
+
+func (s *store) summary() Stats {
+	out := Stats{ByEdgeKind: make(map[EdgeKind]int)}
+	for _, n := range s.nodes {
 		switch n.Kind {
 		case KindRelation:
-			s.Relations++
+			out.Relations++
 		case KindAttribute:
-			s.Attributes++
+			out.Attributes++
 		case KindValue:
-			s.Values++
+			out.Values++
 		default:
-			s.Keywords++
+			out.Keywords++
 		}
 	}
-	for _, e := range g.edges {
-		s.ByEdgeKind[e.Kind]++
+	for _, e := range s.edges {
+		out.ByEdgeKind[e.Kind]++
 	}
-	return s
+	return out
 }
 
 // Build constructs the initial search graph from catalog metadata: one

@@ -1,0 +1,225 @@
+package searchgraph
+
+import (
+	"math"
+
+	"qint/internal/learning"
+	"qint/internal/relstore"
+	"qint/internal/steiner"
+)
+
+// Snapshot is an immutable view of a search graph, published by the writer
+// with Graph.Snapshot and shared by any number of concurrent readers. All
+// methods are pure reads; per-query mutable state lives in an Overlay.
+type Snapshot struct {
+	s     *store
+	epoch uint64
+}
+
+// Epoch identifies the graph state the snapshot froze. Two snapshots with
+// equal epochs (from the same Graph) share identical storage.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Base returns the frozen steiner graph. Callers must treat it as
+// read-only; extend it through an Overlay instead.
+func (s *Snapshot) Base() *steiner.Graph { return s.s.sg }
+
+// Node returns the node with the given id.
+func (s *Snapshot) Node(id steiner.NodeID) Node { return s.s.nodes[id] }
+
+// Edge returns the search-graph edge metadata for an edge id.
+func (s *Snapshot) Edge(id steiner.EdgeID) Edge { return s.s.edges[id] }
+
+// NumNodes returns the node count.
+func (s *Snapshot) NumNodes() int { return len(s.s.nodes) }
+
+// NumEdges returns the edge count.
+func (s *Snapshot) NumEdges() int { return len(s.s.edges) }
+
+// Cost returns the frozen cost of a base edge.
+func (s *Snapshot) Cost(id steiner.EdgeID) float64 { return s.s.sg.Edge(id).Cost }
+
+// Weights returns the frozen weight vector. Callers must not mutate it.
+func (s *Snapshot) Weights() learning.Vector { return s.s.weights }
+
+// EdgeCostFor computes what a base edge's cost would be under an arbitrary
+// weight vector (see Graph.EdgeCostFor).
+func (s *Snapshot) EdgeCostFor(id steiner.EdgeID, w learning.Vector) float64 {
+	return s.s.edgeCostFor(id, w)
+}
+
+// LookupRelation returns the relation node id, or -1 if absent.
+func (s *Snapshot) LookupRelation(qualified string) steiner.NodeID {
+	if id, ok := s.s.relNode[qualified]; ok {
+		return id
+	}
+	return -1
+}
+
+// LookupAttribute returns the attribute node id, or -1 if absent.
+func (s *Snapshot) LookupAttribute(ref relstore.AttrRef) steiner.NodeID {
+	if id, ok := s.s.attrNode[ref]; ok {
+		return id
+	}
+	return -1
+}
+
+// AssociationList returns all association edges in id order.
+func (s *Snapshot) AssociationList() []Association { return s.s.associationList() }
+
+// Summary computes node/edge counts by kind.
+func (s *Snapshot) Summary() Stats { return s.s.summary() }
+
+// NewOverlay returns an empty per-query overlay over the snapshot.
+func (s *Snapshot) NewOverlay() *Overlay {
+	return &Overlay{
+		snap:    s,
+		so:      steiner.NewOverlay(s.s.sg),
+		kwNode:  make(map[string]steiner.NodeID),
+		valNode: make(map[valueKey]steiner.NodeID),
+		kwSeen:  make(map[[2]steiner.NodeID]steiner.EdgeID),
+	}
+}
+
+// Overlay is the query-private extension of a snapshot: the keyword nodes,
+// keyword edges and lazily materialised value nodes of one query graph
+// (paper §2.2), kept out of the shared base entirely. Node and edge ids
+// continue the base id spaces, so Steiner trees computed over the overlay
+// reference base edges by their stable ids. An overlay belongs to one query
+// (or one view materialisation): it is not safe for concurrent mutation,
+// and it dies when the materialisation it supported is replaced.
+type Overlay struct {
+	snap    *Snapshot
+	so      *steiner.Overlay
+	nodes   []Node // overlay nodes; id = snap.NumNodes()+i
+	edges   []Edge // overlay edges; id = snap.NumEdges()+i
+	kwNode  map[string]steiner.NodeID
+	valNode map[valueKey]steiner.NodeID
+	// kwSeen dedups (keyword, target) pairs: a keyword repeated in one query
+	// must not produce parallel match edges (they would bloat the k-best
+	// list with edge-set-distinct but equivalent trees).
+	kwSeen map[[2]steiner.NodeID]steiner.EdgeID
+}
+
+// Snapshot returns the snapshot the overlay extends.
+func (o *Overlay) Snapshot() *Snapshot { return o.snap }
+
+// View returns the steiner view (base∪overlay) to run graph algorithms on.
+func (o *Overlay) View() steiner.GraphView { return o.so }
+
+// Node returns the node with the given id, base or overlay.
+func (o *Overlay) Node(id steiner.NodeID) Node {
+	if int(id) < o.snap.NumNodes() {
+		return o.snap.Node(id)
+	}
+	return o.nodes[int(id)-o.snap.NumNodes()]
+}
+
+// Edge returns the edge metadata for an edge id, base or overlay.
+func (o *Overlay) Edge(id steiner.EdgeID) Edge {
+	if int(id) < o.snap.NumEdges() {
+		return o.snap.Edge(id)
+	}
+	return o.edges[int(id)-o.snap.NumEdges()]
+}
+
+// Endpoints returns the two endpoint node ids of an edge.
+func (o *Overlay) Endpoints(id steiner.EdgeID) (steiner.NodeID, steiner.NodeID) {
+	e := o.so.Edge(id)
+	return e.U, e.V
+}
+
+// Cost returns the current cost of an edge, base or overlay.
+func (o *Overlay) Cost(id steiner.EdgeID) float64 { return o.so.Edge(id).Cost }
+
+// KeywordEdges returns the overlay's keyword edges in creation order (the
+// learnable per-query edges a feedback update must keep positive).
+func (o *Overlay) KeywordEdges() []Edge {
+	out := make([]Edge, 0, len(o.edges))
+	for _, e := range o.edges {
+		if e.Kind == EdgeKeyword {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// KeywordNode returns (and creates if needed) the overlay node for a query
+// keyword. A keyword node present in the base (a graph loaded from old
+// persisted form) is reused — its base edges stay disabled, the overlay
+// adds live ones.
+func (o *Overlay) KeywordNode(keyword string) steiner.NodeID {
+	if id, ok := o.snap.s.kwNode[keyword]; ok {
+		return id
+	}
+	if id, ok := o.kwNode[keyword]; ok {
+		return id
+	}
+	id := o.so.AddNode()
+	o.nodes = append(o.nodes, Node{ID: id, Kind: KindKeyword, Value: keyword})
+	o.kwNode[keyword] = id
+	return id
+}
+
+// ValueNode returns (and creates if needed) the overlay node for a data
+// value, wiring the fixed zero-cost value↔attribute edge on creation
+// (paper §2.1: "for efficiency reasons we will add tuple nodes as
+// needed"). It returns -1 when the owning attribute is unknown to the
+// snapshot (a catalog/graph mismatch the caller should skip).
+func (o *Overlay) ValueNode(ref relstore.AttrRef, value string) steiner.NodeID {
+	k := valueKey{ref: ref, value: value}
+	if id, ok := o.snap.s.valNode[k]; ok {
+		return id
+	}
+	if id, ok := o.valNode[k]; ok {
+		return id
+	}
+	attr := o.snap.LookupAttribute(ref)
+	if attr < 0 {
+		return -1
+	}
+	id := o.so.AddNode()
+	o.nodes = append(o.nodes, Node{ID: id, Kind: KindValue, Ref: ref, Value: value})
+	o.valNode[k] = id
+	eid := o.so.AddEdge(id, attr, 0)
+	o.edges = append(o.edges, Edge{ID: eid, Kind: EdgeValueAttr, Fixed: true})
+	return id
+}
+
+// AddKeywordEdge links a keyword node to a target node (either may be base
+// or overlay) with a learnable keyword-match edge, exactly as the builder's
+// AddKeywordEdge does — except the per-edge indicator weight is not written
+// into the shared weight vector: when the snapshot's weights carry no
+// learned value for it yet, KwEdgeBaseWeight enters the cost directly. A
+// feedback update that touches the edge seeds the weight for real (see
+// core's learner), so learned promotions and suppressions survive; until
+// then every query prices the edge identically without writing anywhere.
+func (o *Overlay) AddKeywordEdge(kw, target steiner.NodeID, sim float64) steiner.EdgeID {
+	if id, ok := o.kwSeen[[2]steiner.NodeID{kw, target}]; ok {
+		return id
+	}
+	if sim < 0 {
+		sim = 0
+	}
+	if sim > 1 {
+		sim = 1
+	}
+	edgeFeat := "edge:kw:" + o.Node(kw).Value + "->" + o.Node(target).Label()
+	f := learning.Vector{
+		"mismatch": 1 - sim,
+		edgeFeat:   1,
+	}
+	w := o.snap.s.weights
+	c := w.Dot(f)
+	if _, ok := w[edgeFeat]; !ok {
+		c += KwEdgeBaseWeight
+	}
+	c = math.Round(c*1e9) / 1e9
+	if c < MinEdgeCost {
+		c = MinEdgeCost
+	}
+	eid := o.so.AddEdge(kw, target, c)
+	o.edges = append(o.edges, Edge{ID: eid, Kind: EdgeKeyword, Features: f})
+	o.kwSeen[[2]steiner.NodeID{kw, target}] = eid
+	return eid
+}

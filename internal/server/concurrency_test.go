@@ -1,12 +1,22 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
+
+	"qint/internal/core"
+	"qint/internal/datasets"
+	"qint/internal/matcher"
+	"qint/internal/matcher/meta"
+	"qint/internal/relstore"
 )
 
 // TestHammerMixedLoad fires many goroutines of mixed reads and writes at one
@@ -184,5 +194,113 @@ func TestParallelKnob(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("parallel=%s: status %d, want 400", bad, resp.StatusCode)
 		}
+	}
+}
+
+// blockingMatcher is a schema matcher that, once armed, parks inside Match
+// until released — standing in for an expensively slow registration (a
+// huge source, a slow matcher) so the test can hold a registration
+// in flight for as long as it likes.
+type blockingMatcher struct {
+	armed   atomic.Bool
+	entered chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func newBlockingMatcher() *blockingMatcher {
+	return &blockingMatcher{entered: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (m *blockingMatcher) Name() string { return "blocking" }
+
+func (m *blockingMatcher) Match(cat *relstore.Catalog, a, b *relstore.Relation) []matcher.Alignment {
+	if m.armed.Load() {
+		m.once.Do(func() { close(m.entered) })
+		<-m.release
+	}
+	return nil
+}
+
+// TestQueryCompletesDuringSlowRegistration pins the tentpole contract at
+// the HTTP layer: POST /query no longer blocks behind POST /sources. A
+// registration is parked mid-alignment (holding Q's writer path), and a
+// query — plus every GET endpoint — must complete while it is in flight,
+// answering from the pre-registration snapshot.
+func TestQueryCompletesDuringSlowRegistration(t *testing.T) {
+	q := core.New(core.DefaultOptions())
+	q.AddMatcher(meta.New())
+	blocker := newBlockingMatcher()
+	q.AddMatcher(blocker)
+	corpus := datasets.InterProGO()
+	if err := q.AddTables(corpus.Tables...); err != nil {
+		t.Fatal(err)
+	}
+	q.AlignAllPairs() // blocker not armed yet: instant
+	ts := httptest.NewServer(New(q))
+	t.Cleanup(ts.Close)
+
+	// Park a registration inside the blocking matcher.
+	blocker.armed.Store(true)
+	regDone := make(chan int, 1)
+	go func() {
+		resp := postJSON(t, ts.URL+"/sources", RegisterRequest{
+			Source:   "slow",
+			Strategy: "exhaustive",
+			Tables: []TableSpec{{
+				Name:       "data",
+				Attributes: []string{"pub_id", "label"},
+				Rows:       [][]string{{"PUB00001", "x"}},
+			}},
+		})
+		resp.Body.Close()
+		regDone <- resp.StatusCode
+	}()
+	select {
+	case <-blocker.entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("registration never reached the matcher")
+	}
+
+	// The registration is now in flight and parked. Queries and reads must
+	// complete against the pre-registration snapshot within the deadline.
+	client := &http.Client{Timeout: 10 * time.Second}
+	qb, _ := json.Marshal(QueryRequest{Q: "'GO:0001000' 'fam_0'"})
+	start := time.Now()
+	resp, err := client.Post(ts.URL+"/query", "application/json", bytes.NewReader(qb))
+	if err != nil {
+		t.Fatalf("query blocked behind the in-flight registration: %v", err)
+	}
+	var va ViewAnswers
+	decode(t, resp, &va)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("query during registration: status %d", resp.StatusCode)
+	}
+	if len(va.Rows) == 0 {
+		t.Error("query during registration returned no answers")
+	}
+	t.Logf("query completed in %v with %d rows while registration was parked", time.Since(start), len(va.Rows))
+
+	for _, path := range []string{"/views", "/associations", "/stats"} {
+		getResp, err := client.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s blocked behind the in-flight registration: %v", path, err)
+		}
+		io.Copy(io.Discard, getResp.Body)
+		getResp.Body.Close()
+		if getResp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s during registration: status %d", path, getResp.StatusCode)
+		}
+	}
+
+	// Release the parked registration and let it commit.
+	close(blocker.release)
+	select {
+	case status := <-regDone:
+		if status != http.StatusCreated {
+			t.Fatalf("slow registration finished with status %d", status)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("released registration never finished")
 	}
 }

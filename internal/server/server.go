@@ -15,16 +15,24 @@
 //	GET  /associations       association edges with costs
 //	GET  /stats              catalog and graph statistics
 //
-// Concurrency model: Q is single-writer, so the mutating endpoints
-// (POST /sources, /query, /views/{id}/feedback) hold the server's write
-// lock, while all GET endpoints take only the read lock and serve
-// concurrently — a query storm no longer blocks view listings or stats.
-// Inside one query, Q fans tree translation and branch execution across a
-// bounded worker pool (core.Options.Parallelism); POST /query accepts a
-// ?parallel=N query parameter to size that pool per request (the ranked
-// answers are byte-identical at any setting). View IDs come from an atomic
-// counter assigned at creation, not from slice positions, so they stay
-// stable no matter how concurrent creations interleave.
+// Concurrency model: POST /query is a pure READ of Q. Each query runs
+// against the copy-on-write snapshot Q last published — expanding its
+// keywords into a private search-graph overlay — so any number of queries
+// execute fully concurrently with each other AND with an in-flight
+// registration or feedback update; the server takes no lock around them.
+// The true writers (POST /sources, POST /views/{id}/feedback) serialise
+// inside Q on its writer mutex and commit by atomic snapshot swap, so a
+// long registration never blocks a query: a query started before the
+// commit answers from the pre-registration world, one started after sees
+// the new source. The server's own mutex guards only the view registry
+// (id ↔ view bookkeeping); view contents swap atomically per view, so GET
+// endpoints read them lock-free. Inside one query, Q fans tree translation
+// and branch execution across a bounded worker pool
+// (core.Options.Parallelism); POST /query accepts a ?parallel=N query
+// parameter to size that request's own fan-out (the ranked answers are
+// byte-identical at any setting). View IDs come from an atomic counter
+// assigned at creation, not from slice positions, so they stay stable no
+// matter how concurrent creations interleave.
 package server
 
 import (
@@ -46,11 +54,11 @@ type viewEntry struct {
 	view *core.View
 }
 
-// Server wraps a Q instance behind an RWMutex (Q itself is single-writer;
-// reads of materialised views are safe to share) and implements
-// http.Handler.
+// Server wraps a Q instance and implements http.Handler. Its mutex guards
+// only the id↔view registry: Q itself is snapshot-based (queries are
+// lock-free reads, writers serialise internally).
 type Server struct {
-	mu     sync.RWMutex
+	mu     sync.RWMutex // guards views and byID only
 	q      *core.Q
 	views  []viewEntry           // creation order
 	byID   map[string]*core.View // stable id -> view
@@ -167,9 +175,9 @@ func (s *Server) handleSources(w http.ResponseWriter, r *http.Request) {
 		tables = append(tables, t)
 	}
 
-	s.mu.Lock()
+	// Writers serialise inside Q; queries keep flowing against the previous
+	// snapshot until the registration commits.
 	report, err := s.q.RegisterSource(tables, strategy)
-	s.mu.Unlock()
 	if err != nil {
 		httpError(w, http.StatusConflict, "%v", err)
 		return
@@ -215,29 +223,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad json: %v", err)
 		return
 	}
-	s.mu.Lock()
-	prev := 0
-	if parallel > 0 {
-		prev = s.q.Options().Parallelism
-		s.q.SetParallelism(parallel)
-	}
-	v, err := s.q.Query(req.Q)
-	if prev > 0 {
-		s.q.SetParallelism(prev)
-	}
-	var resp ViewAnswers
-	if err == nil {
-		entry := viewEntry{id: fmt.Sprintf("v%d", s.nextID.Add(1)-1), view: v}
-		s.views = append(s.views, entry)
-		s.byID[entry.id] = v
-		resp = s.answersLocked(entry.id, v)
-	}
-	s.mu.Unlock()
+	// The query itself is a lock-free read of Q's published snapshot; only
+	// the registry append below takes the server mutex, briefly.
+	v, err := s.q.QueryWith(req.Q, parallel)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, resp)
+	id := fmt.Sprintf("v%d", s.nextID.Add(1)-1)
+	s.mu.Lock()
+	s.views = append(s.views, viewEntry{id: id, view: v})
+	s.byID[id] = v
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, answersOf(id, v))
 }
 
 func (s *Server) handleViews(w http.ResponseWriter, r *http.Request) {
@@ -246,11 +244,12 @@ func (s *Server) handleViews(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.RLock()
-	out := make([]ViewSummary, len(s.views))
-	for i, e := range s.views {
-		out[i] = s.summaryLocked(e.id, e.view)
-	}
+	entries := append([]viewEntry(nil), s.views...)
 	s.mu.RUnlock()
+	out := make([]ViewSummary, len(entries))
+	for i, e := range entries {
+		out[i] = summaryOf(e.id, e.view)
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -268,10 +267,7 @@ func (s *Server) handleViewByID(w http.ResponseWriter, r *http.Request) {
 
 	switch {
 	case len(parts) == 1 && r.Method == http.MethodGet:
-		s.mu.RLock()
-		resp := s.answersLocked(id, v)
-		s.mu.RUnlock()
-		writeJSON(w, http.StatusOK, resp)
+		writeJSON(w, http.StatusOK, answersOf(id, v))
 	case len(parts) == 2 && parts[1] == "feedback" && r.Method == http.MethodPost:
 		var req FeedbackRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -287,36 +283,45 @@ func (s *Server) handleViewByID(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, "kind must be valid or invalid")
 			return
 		}
-		s.mu.Lock()
-		err := s.q.FeedbackRow(v, req.Row, kind)
-		var resp ViewAnswers
-		if err == nil {
-			resp = s.answersLocked(id, v)
-		}
-		s.mu.Unlock()
-		if err != nil {
+		if err := s.q.FeedbackRow(v, req.Row, kind); err != nil {
 			httpError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		writeJSON(w, http.StatusOK, resp)
+		writeJSON(w, http.StatusOK, answersOf(id, v))
 	default:
 		httpError(w, http.StatusNotFound, "unknown view endpoint")
 	}
 }
 
-func (s *Server) summaryLocked(id string, v *core.View) ViewSummary {
+// summaryOf reads one coherent materialisation of the view (a single
+// atomic load via Current — no lock needed, and α always matches the rows
+// counted even under a concurrent Refresh).
+func summaryOf(id string, v *core.View) ViewSummary {
+	return summaryOfMat(id, v, v.Current())
+}
+
+func summaryOfMat(id string, v *core.View, m core.Materialization) ViewSummary {
+	answers := 0
+	if m.Result != nil {
+		answers = len(m.Result.Rows)
+	}
 	return ViewSummary{
 		ID:       id,
 		Keywords: v.Keywords,
 		K:        v.K,
-		Alpha:    v.Alpha,
-		Answers:  len(v.Result.Rows),
+		Alpha:    m.Alpha,
+		Answers:  answers,
 	}
 }
 
-func (s *Server) answersLocked(id string, v *core.View) ViewAnswers {
-	out := ViewAnswers{ViewSummary: s.summaryLocked(id, v), Columns: v.Result.Columns}
-	for _, row := range v.Result.TopK(v.K) {
+func answersOf(id string, v *core.View) ViewAnswers {
+	m := v.Current()
+	out := ViewAnswers{ViewSummary: summaryOfMat(id, v, m)}
+	if m.Result == nil {
+		return out
+	}
+	out.Columns = m.Result.Columns
+	for _, row := range m.Result.TopK(v.K) {
 		out.Rows = append(out.Rows, AnswerRow{
 			Values:     row.Values,
 			Cost:       row.Cost,
@@ -338,9 +343,8 @@ func (s *Server) handleAssociations(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	s.mu.RLock()
-	list := s.q.Graph.AssociationList()
-	s.mu.RUnlock()
+	// Read the published graph snapshot — no lock, coherent by construction.
+	list := s.q.CurrentGraph().AssociationList()
 	out := make([]AssociationInfo, len(list))
 	for i, a := range list {
 		out[i] = AssociationInfo{A: a.A.String(), B: a.B.String(), Cost: a.Cost}
@@ -363,23 +367,26 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
+	graph := s.q.CurrentGraph()
+	cat := s.q.CurrentCatalog()
+	sum := graph.Summary()
 	s.mu.RLock()
-	sum := s.q.Graph.Summary()
+	nViews := len(s.views)
+	s.mu.RUnlock()
 	resp := StatsResponse{
-		Relations:  s.q.Catalog.NumRelations(),
-		Attributes: s.q.Catalog.NumAttributes(),
-		Sources:    s.q.Catalog.Sources(),
+		Relations:  cat.NumRelations(),
+		Attributes: cat.NumAttributes(),
+		Sources:    cat.Sources(),
 		Nodes: map[string]int{
 			"relation": sum.Relations, "attribute": sum.Attributes,
 			"value": sum.Values, "keyword": sum.Keywords,
 		},
 		Edges: make(map[string]int, len(sum.ByEdgeKind)),
-		Views: len(s.views),
+		Views: nViews,
 	}
 	for k, n := range sum.ByEdgeKind {
 		resp.Edges[k.String()] = n
 	}
-	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, resp)
 }
 

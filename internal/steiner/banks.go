@@ -17,6 +17,12 @@ import (
 // the optimum for most queries. This is the "approximation algorithm at
 // larger scales" of paper §2.2.
 func (g *Graph) ApproxTopKSteiner(terminals []NodeID, k int) []Tree {
+	return ApproxTopKSteinerOn(g, terminals, k)
+}
+
+// ApproxTopKSteinerOn is ApproxTopKSteiner over an arbitrary graph view
+// (base graph or base∪overlay).
+func ApproxTopKSteinerOn(g GraphView, terminals []NodeID, k int) []Tree {
 	if k <= 0 {
 		return nil
 	}
@@ -30,7 +36,7 @@ func (g *Graph) ApproxTopKSteiner(terminals []NodeID, k int) []Tree {
 
 	dists := make([]Dist, len(terms))
 	for i, t := range terms {
-		dists[i] = g.Dijkstra(t)
+		dists[i] = DijkstraOn(g, t)
 	}
 
 	type cand struct {
@@ -70,7 +76,7 @@ func (g *Graph) ApproxTopKSteiner(terminals []NodeID, k int) []Tree {
 		if i >= limit && len(out) >= k {
 			break
 		}
-		t, ok := g.unionPathsTree(dists, terms, c.root)
+		t, ok := unionPathsTree(g, dists, terms, c.root)
 		if !ok {
 			continue
 		}
@@ -93,7 +99,7 @@ func (g *Graph) ApproxTopKSteiner(terminals []NodeID, k int) []Tree {
 // unionPathsTree builds the union of shortest paths from root to each
 // terminal and verifies it is a tree (the union can contain a cycle when
 // paths from different terminals interleave; such candidates are dropped).
-func (g *Graph) unionPathsTree(dists []Dist, terms []NodeID, root NodeID) (Tree, bool) {
+func unionPathsTree(g GraphView, dists []Dist, terms []NodeID, root NodeID) (Tree, bool) {
 	edgeSet := make(map[EdgeID]struct{})
 	nodeSet := map[NodeID]struct{}{root: {}}
 	for i := range terms {
@@ -111,7 +117,7 @@ func (g *Graph) unionPathsTree(dists []Dist, terms []NodeID, root NodeID) (Tree,
 	t := Tree{Edges: make([]EdgeID, 0, len(edgeSet)), Nodes: make([]NodeID, 0, len(nodeSet))}
 	for e := range edgeSet {
 		t.Edges = append(t.Edges, e)
-		t.Cost += g.edges[e].Cost
+		t.Cost += g.Edge(e).Cost
 	}
 	for n := range nodeSet {
 		t.Nodes = append(t.Nodes, n)

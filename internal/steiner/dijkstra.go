@@ -13,7 +13,11 @@ type Dist struct {
 }
 
 // Dijkstra computes shortest path costs from src to every node.
-func (g *Graph) Dijkstra(src NodeID) Dist {
+func (g *Graph) Dijkstra(src NodeID) Dist { return DijkstraOn(g, src) }
+
+// DijkstraOn computes shortest path costs from src to every node of an
+// arbitrary graph view (base graph or base∪overlay).
+func DijkstraOn(g GraphView, src NodeID) Dist {
 	n := g.NumNodes()
 	d := Dist{D: make([]float64, n), Prev: make([]EdgeID, n)}
 	for i := range d.D {
@@ -27,8 +31,8 @@ func (g *Graph) Dijkstra(src NodeID) Dist {
 		if it.cost > d.D[it.node] {
 			continue
 		}
-		for _, eid := range g.adj[it.node] {
-			e := g.edges[eid]
+		for _, eid := range g.Incident(it.node) {
+			e := g.Edge(eid)
 			to := g.Other(eid, it.node)
 			nd := it.cost + e.Cost
 			if nd < d.D[to] {
@@ -44,7 +48,10 @@ func (g *Graph) Dijkstra(src NodeID) Dist {
 // PathTo reconstructs the edges of the shortest path from the Dijkstra
 // source to node v (in reverse order of traversal). Returns nil when v is
 // the source or unreachable.
-func (g *Graph) PathTo(d Dist, v NodeID) []EdgeID {
+func (g *Graph) PathTo(d Dist, v NodeID) []EdgeID { return PathToOn(g, d, v) }
+
+// PathToOn is PathTo over an arbitrary graph view.
+func PathToOn(g GraphView, d Dist, v NodeID) []EdgeID {
 	if math.IsInf(d.D[v], 1) {
 		return nil
 	}
@@ -62,9 +69,14 @@ func (g *Graph) PathTo(d Dist, v NodeID) []EdgeID {
 // neighbourhood GETCOSTNEIGHBORHOOD of Algorithm 2: any new-source node that
 // could join a Steiner tree of cost ≤ α must align with a node inside it.
 func (g *Graph) Neighborhood(sources []NodeID, alpha float64) map[NodeID]struct{} {
+	return NeighborhoodOn(g, sources, alpha)
+}
+
+// NeighborhoodOn is Neighborhood over an arbitrary graph view.
+func NeighborhoodOn(g GraphView, sources []NodeID, alpha float64) map[NodeID]struct{} {
 	out := make(map[NodeID]struct{})
 	for _, s := range sources {
-		d := g.Dijkstra(s)
+		d := DijkstraOn(g, s)
 		for v, dist := range d.D {
 			if dist <= alpha {
 				out[NodeID(v)] = struct{}{}
@@ -82,9 +94,14 @@ func (g *Graph) Neighborhood(sources []NodeID, alpha float64) map[NodeID]struct{
 // per-keyword neighbourhoods; the intersection refinement preserves its
 // same-top-k guarantee while pruning far more aggressively on large graphs.
 func (g *Graph) NeighborhoodIntersect(sources []NodeID, alpha float64) map[NodeID]struct{} {
+	return NeighborhoodIntersectOn(g, sources, alpha)
+}
+
+// NeighborhoodIntersectOn is NeighborhoodIntersect over an arbitrary view.
+func NeighborhoodIntersectOn(g GraphView, sources []NodeID, alpha float64) map[NodeID]struct{} {
 	out := make(map[NodeID]struct{})
 	for i, s := range sources {
-		d := g.Dijkstra(s)
+		d := DijkstraOn(g, s)
 		if i == 0 {
 			for v, dist := range d.D {
 				if dist <= alpha {

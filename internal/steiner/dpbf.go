@@ -50,6 +50,12 @@ const maxDPBFPops = 2_000_000
 //
 // This is the "exact algorithm at small scales" of paper §2.2.
 func (g *Graph) TopKSteiner(terminals []NodeID, k int) []Tree {
+	return TopKSteinerOn(g, terminals, k)
+}
+
+// TopKSteinerOn is TopKSteiner over an arbitrary graph view (base graph or
+// base∪overlay).
+func TopKSteinerOn(g GraphView, terminals []NodeID, k int) []Tree {
 	if k <= 0 {
 		return nil
 	}
@@ -112,7 +118,7 @@ func (g *Graph) TopKSteiner(terminals []NodeID, k int) []Tree {
 		}
 
 		// Grow: extend the tree across one incident edge of its root.
-		for _, eid := range g.adj[cur.v] {
+		for _, eid := range g.Incident(cur.v) {
 			u := g.Other(eid, cur.v)
 			if _, inTree := cur.nodes[u]; inTree {
 				continue // would create a cycle
@@ -157,9 +163,9 @@ func (t *dpTree) key() string {
 	return strings.Join(parts, ",")
 }
 
-func (t *dpTree) extend(g *Graph, eid EdgeID, newRoot NodeID) *dpTree {
+func (t *dpTree) extend(g GraphView, eid EdgeID, newRoot NodeID) *dpTree {
 	nt := &dpTree{
-		cost:  t.cost + g.edges[eid].Cost,
+		cost:  t.cost + g.Edge(eid).Cost,
 		v:     newRoot,
 		mask:  t.mask,
 		edges: insertSorted(t.edges, eid),

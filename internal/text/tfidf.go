@@ -60,6 +60,41 @@ func (c *Corpus) Add(id, content string) {
 // Len returns the number of indexed documents.
 func (c *Corpus) Len() int { return len(c.docs) }
 
+// Flush rebuilds the idf table and document vectors if any Add happened
+// since the last scoring. A flushed corpus serves Score and TopMatches as
+// pure reads, which is what lets Q publish one corpus snapshot to many
+// concurrent queries: the writer flushes before publishing, so no reader
+// ever triggers the lazy rebuild.
+func (c *Corpus) Flush() {
+	if c.dirty {
+		c.rebuild()
+	}
+}
+
+// Clone returns a copy-on-write clone: the document slice, frequency table
+// and id index are copied (token slices and built vectors are immutable and
+// shared). Adding to the clone leaves the original untouched, so a
+// published corpus snapshot stays frozen while a registration indexes new
+// schema labels into the next generation.
+func (c *Corpus) Clone() *Corpus {
+	df := make(map[string]int, len(c.df))
+	for k, v := range c.df {
+		df[k] = v
+	}
+	byID := make(map[string]int, len(c.byID))
+	for k, v := range c.byID {
+		byID[k] = v
+	}
+	return &Corpus{
+		docs:    append([]document(nil), c.docs...),
+		df:      df,
+		byID:    byID,
+		dirty:   c.dirty,
+		idf:     c.idf,
+		vectors: append([]map[string]float64(nil), c.vectors...),
+	}
+}
+
 func uniqueTokens(tokens []string) []string {
 	seen := make(map[string]struct{}, len(tokens))
 	var out []string

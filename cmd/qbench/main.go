@@ -3,7 +3,7 @@
 // reports. Use -exp to run a single experiment.
 //
 //	qbench            # run everything
-//	qbench -exp fig7  # one of: table1 fig6 fig7 fig8 fig10 fig11 fig12 table2 ablation propagation parallel snapshot
+//	qbench -exp fig7  # one of: table1 fig6 fig7 fig8 fig10 fig11 fig12 table2 ablation propagation parallel snapshot valueindex
 package main
 
 import (
@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig6, fig7, fig8, table1, fig10, fig11, fig12, table2, ablation, parallel, snapshot")
+	exp := flag.String("exp", "all", "experiment to run: all, fig6, fig7, fig8, table1, fig10, fig11, fig12, table2, ablation, parallel, snapshot, valueindex")
 	flag.Parse()
 
 	runners := []struct {
@@ -43,6 +43,7 @@ func main() {
 		{"propagation", propagation},
 		{"parallel", parallel},
 		{"snapshot", snapshot},
+		{"valueindex", valueindex},
 	}
 	ran := false
 	for _, r := range runners {
@@ -230,6 +231,24 @@ func parallel() error {
 	fmt.Printf("%-22s %12v\n", "parallel (pool)", pooled)
 	if pooled > 0 {
 		fmt.Printf("%-22s %12.2fx\n", "speedup", float64(serial)/float64(pooled))
+	}
+	return nil
+}
+
+// valueindex compares FindValues through the reference full-catalog scan
+// against the inverted value index on synthetic catalogs of growing size —
+// the standalone counterpart of Benchmark{Scan,Index}FindValues.
+func valueindex() error {
+	rows, err := eval.RunValueIndex()
+	if err != nil {
+		return err
+	}
+	header("Value index: mean FindValues latency, full scan vs trigram inverted index")
+	fmt.Printf("%-8s %-8s %-9s %12s %12s %12s %9s\n",
+		"Tables", "Rows", "Keywords", "Scan/kw", "Index/kw", "Build", "Speedup")
+	for _, r := range rows {
+		fmt.Printf("%-8d %-8d %-9d %12v %12v %12v %8.1fx\n",
+			r.Tables, r.Rows, r.Keywords, r.ScanMean, r.IndexMean, r.BuildTime, r.Speedup)
 	}
 	return nil
 }

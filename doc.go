@@ -55,6 +55,34 @@
 // and α — to the serial result. internal/core/parallel_test.go pins that
 // equivalence metamorphically across the bundled corpora.
 //
+// # Value index
+//
+// Keyword→value matching (the lazily materialised value nodes of paper
+// §2.2) runs on an incremental inverted index instead of scanning rows.
+// Each table owns one immutable index segment: its distinct
+// (attribute, value) entries with row counts and normalised forms, plus
+// posting lists keyed by every character trigram and every whole token of
+// the normalised value. A keyword of three or more runes intersects its
+// trigram posting lists and verifies the survivors with one substring
+// check (entries on the keyword's whole-token list skip even that);
+// shorter keywords fall back to verifying the segment's distinct entries
+// directly — deterministic, and still never touching raw rows. The results
+// are byte-identical to the reference full scan, which remains available
+// as the executable specification (relstore.Catalog.ScanFindValues,
+// core.Options.ScanFindValues) and is pinned against the index by the
+// metamorphic suite in internal/relstore/valueindex_test.go under -race.
+//
+// The index is incremental and copy-on-write friendly: segments build once
+// per table — fanned across the worker pool at registration time, sharded
+// by table, or lazily on first lookup — and the segment cache is shared
+// across relstore.Catalog.Clone, so a registration indexes only its own
+// new tables and published snapshot generations keep reading frozen
+// segments (the same sharing pattern as the lazy ValueSet cache, which
+// itself now derives attribute value sets from built segments instead of
+// re-scanning rows). Benchmark{Scan,Index}FindValues quantifies the win on
+// a large synthetic catalog and runs in CI; cmd/qbench -exp valueindex
+// prints the comparison across catalog scales.
+//
 // The HTTP layer (internal/server) inherits the model directly: POST
 // /query is a pure read and takes no server lock (a long registration
 // never blocks it — Benchmark{Locked,Snapshot}ContendedQuery quantifies

@@ -60,6 +60,12 @@ type Options struct {
 	// ValueOverlapFilter restricts attribute comparisons to pairs with at
 	// least one shared value (the content-index variant of Figure 7).
 	ValueOverlapFilter bool
+	// ScanFindValues routes keyword→value matching through the reference
+	// full-catalog scan instead of the inverted value index. The scan is the
+	// executable specification the index is verified against (both return
+	// byte-identical hits); keep it off outside of debugging and the
+	// equivalence harnesses — the index is the fast path.
+	ScanFindValues bool
 	// RawConfidences disables the confidence binning of §4 and feeds each
 	// matcher's real-valued confidence directly into the edge features (as
 	// a mismatch value, 1 − confidence). The paper warns this destabilises
@@ -213,6 +219,7 @@ func New(opts Options) *Q {
 		mira:    learning.NewMIRA(),
 		corpus:  text.NewCorpus(),
 	}
+	q.Catalog.UseScanFindValues(o.ScanFindValues)
 	q.publishLocked()
 	return q
 }
@@ -402,6 +409,21 @@ func (q *Q) addTablesLocked(tables ...*relstore.Table) error {
 	q.Graph.AddSources(q.Catalog, sources)
 	for _, t := range tables {
 		q.indexRelation(t.Relation)
+	}
+	// Incremental value-index maintenance: build the inverted-index segment
+	// of each NEW table (segments are per-table and immutable, so nothing
+	// global rebuilds), sharded by table across the worker pool. Skipped in
+	// reference-scan mode, and also harmless to skip: the read path builds
+	// missing segments lazily on first use.
+	if !q.opts.ScanFindValues {
+		cat := q.Catalog
+		err := runIndexed(len(tables), q.opts.Parallelism, func(i int) error {
+			cat.EnsureIndexed(tables[i].Relation.QualifiedName())
+			return nil
+		})
+		if err != nil {
+			return err
+		}
 	}
 	for _, inv := range q.invalidators {
 		inv()

@@ -232,6 +232,10 @@ func (q *Q) expandKeyword(st *qstate, ov *searchgraph.Overlay, kw string) steine
 	}
 
 	// Data-value matches: lazily create value nodes (paper §2.1/§2.2).
+	// FindValues answers from the catalog's inverted value index (trigram +
+	// whole-token postings, per-table segments shared across copy-on-write
+	// generations) rather than scanning rows; Options.ScanFindValues routes
+	// it through the reference scan, with byte-identical hits either way.
 	hits := st.cat.FindValues(kw)
 	if len(hits) > q.opts.MaxMatchesPerKeyword {
 		// Prefer exact-normalised matches, then fewer-row (more selective)

@@ -121,6 +121,115 @@ func TestSnapshotIsolationUnderRegistration(t *testing.T) {
 	}
 }
 
+// TestIndexSnapshotIsolationUnderRegistration extends the snapshot suite to
+// the inverted value index: keyword→value lookups issued through the
+// published catalog while a registration is committing must answer from
+// either the complete pre-registration index or the complete
+// post-registration index — never a torn posting list (e.g. the new
+// source's tables visible but unindexed, or half a segment). The probe
+// keyword hits BOTH the fixture (ip.pub, ip.entry2pub) and the registering
+// source (jrnl.journal), so a torn index would change the hit set.
+func TestIndexSnapshotIsolationUnderRegistration(t *testing.T) {
+	const probe = "PUB0001"
+
+	q := newFixtureQ(t, true)
+	q.AddMatcher(meta.New())
+
+	fingerprint := func(hits []relstore.ValueHit) string { return fmt.Sprintf("%v", hits) }
+
+	// Quiesced pre-registration answer, cross-checked against the reference
+	// scan so the fingerprints pin index content, not just stability.
+	pre := q.CurrentCatalog().FindValues(probe)
+	preFP := fingerprint(pre)
+	if scanFP := fingerprint(q.CurrentCatalog().ScanFindValues(probe)); preFP != scanFP {
+		t.Fatalf("pre-registration index diverges from scan\nindex: %s\nscan:  %s", preFP, scanFP)
+	}
+	if len(pre) == 0 {
+		t.Fatal("probe keyword must hit the fixture catalog")
+	}
+
+	const readers = 8
+	fps := make([][]string, readers)
+	errc := make(chan error, readers+1)
+	var wg sync.WaitGroup
+	var warmed sync.WaitGroup // one pre-registration lookup per reader
+	warmed.Add(readers)
+	start := make(chan struct{})
+	committed := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			<-start
+			fps[r] = append(fps[r], fingerprint(q.CurrentCatalog().FindValues(probe)))
+			warmed.Done()
+			for {
+				// Load the catalog fresh each round: rounds straddle the
+				// registration commit.
+				fps[r] = append(fps[r], fingerprint(q.CurrentCatalog().FindValues(probe)))
+				select {
+				case <-committed:
+					// One lookup strictly after the commit, so every reader
+					// exercises the post-registration index too.
+					fps[r] = append(fps[r], fingerprint(q.CurrentCatalog().FindValues(probe)))
+					errc <- nil
+					return
+				default:
+				}
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(committed)
+		<-start
+		warmed.Wait() // every reader sees the pre-registration index first
+		if _, err := q.RegisterSource(jrnlTables(t), Exhaustive); err != nil {
+			errc <- fmt.Errorf("writer: %v", err)
+			return
+		}
+		errc <- nil
+	}()
+	close(start)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Quiesced post-registration answer, again pinned to the scan.
+	post := q.CurrentCatalog().FindValues(probe)
+	postFP := fingerprint(post)
+	if scanFP := fingerprint(q.CurrentCatalog().ScanFindValues(probe)); postFP != scanFP {
+		t.Fatalf("post-registration index diverges from scan\nindex: %s\nscan:  %s", postFP, scanFP)
+	}
+	if len(post) <= len(pre) {
+		t.Fatalf("post-registration index must include the new source's hit: pre=%d post=%d", len(pre), len(post))
+	}
+
+	preN, postN := 0, 0
+	for r := range fps {
+		for i, fp := range fps[r] {
+			switch fp {
+			case preFP:
+				preN++
+			case postFP:
+				postN++
+			default:
+				t.Fatalf("reader %d lookup %d: torn index state\ngot:  %s\npre:  %s\npost: %s",
+					r, i, fp, preFP, postFP)
+			}
+		}
+	}
+	t.Logf("concurrent lookups: %d saw the pre-registration index, %d the post-registration index", preN, postN)
+	if preN < readers || postN < readers {
+		t.Fatalf("every reader must observe both sides of the commit: pre=%d post=%d", preN, postN)
+	}
+}
+
 // TestQueriesSeeNewSourceAfterRegistration pins the visibility half of the
 // snapshot contract: a query issued after RegisterSource returns must
 // answer from the new source.

@@ -3,6 +3,7 @@ package datasets
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"qint/internal/relstore"
 )
@@ -12,6 +13,89 @@ import (
 // with two attributes, and then connected them to two random nodes in the
 // search graph"). Each table is its own source ("synN") with no instance
 // data — the scaling experiment counts column comparisons only.
+// valueSyllables compose the pseudo-words of the synthetic value corpus.
+var valueSyllables = []string{
+	"ka", "ro", "mi", "ta", "len", "vor", "shi", "gan", "pel", "dru",
+	"os", "in", "ter", "pro", "mem", "bra", "nuc", "zym", "gly", "fer",
+}
+
+// SyntheticValueCorpus generates a catalog-sized workload WITH instance
+// data for the value-index experiments: `tables` single-relation sources of
+// three string attributes each — an accession identifier, a short name and
+// a multi-word description — whose text is drawn from one shared
+// pseudo-word vocabulary, so a keyword's matches spread across many tables
+// the way GO/InterPro terms do. It returns the tables plus a keyword
+// workload mixing frequent words, rare words, identifier fragments,
+// multi-word phrases, sub-token substrings, below-trigram-width shorts and
+// absent terms — the realistic mix FindValues sees from query expansion.
+func SyntheticValueCorpus(tables, rowsPerTable int, seed int64) ([]*relstore.Table, []string) {
+	r := rand.New(rand.NewSource(seed))
+	word := func() string {
+		n := 2 + r.Intn(3)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteString(valueSyllables[r.Intn(len(valueSyllables))])
+		}
+		return b.String()
+	}
+	vocab := make([]string, 400)
+	for i := range vocab {
+		vocab[i] = word()
+	}
+	phrase := func(maxWords int) string {
+		n := 1 + r.Intn(maxWords)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = vocab[r.Intn(len(vocab))]
+		}
+		return strings.Join(parts, " ")
+	}
+
+	out := make([]*relstore.Table, tables)
+	for ti := 0; ti < tables; ti++ {
+		rel := &relstore.Relation{
+			Source: fmt.Sprintf("vsyn%d", ti),
+			Name:   "data",
+			Attributes: []relstore.Attribute{
+				{Name: "acc"}, {Name: "name"}, {Name: "description"},
+			},
+		}
+		rows := make([][]string, rowsPerTable)
+		for i := range rows {
+			rows[i] = []string{
+				fmt.Sprintf("ACC%d:%07d", ti, r.Intn(10*rowsPerTable)),
+				phrase(2),
+				phrase(4),
+			}
+		}
+		t, err := relstore.NewTable(rel, rows)
+		if err != nil {
+			panic(fmt.Sprintf("datasets: synthetic value table %d: %v", ti, err))
+		}
+		out[ti] = t
+	}
+
+	keywords := make([]string, 0, 48)
+	for i := 0; i < 16; i++ {
+		keywords = append(keywords, vocab[r.Intn(len(vocab))]) // whole words
+	}
+	for i := 0; i < 8; i++ {
+		w := vocab[r.Intn(len(vocab))]
+		keywords = append(keywords, w[1:len(w)-1]) // inner substrings of tokens
+	}
+	for i := 0; i < 8; i++ {
+		keywords = append(keywords, phrase(2)) // multi-word phrases
+	}
+	for i := 0; i < 8; i++ {
+		keywords = append(keywords, fmt.Sprintf("%07d", r.Intn(10*rowsPerTable))) // id fragments
+	}
+	keywords = append(keywords,
+		"ka", "ro", // below trigram width
+		"zzzqqqxxx", "not here at all", // absent
+	)
+	return out, keywords
+}
+
 func SyntheticRelations(n int, seed int64) []*relstore.Table {
 	r := rand.New(rand.NewSource(seed))
 	out := make([]*relstore.Table, n)

@@ -1,0 +1,82 @@
+package eval
+
+import (
+	"fmt"
+	"runtime"
+	"slices"
+	"time"
+
+	"qint/internal/datasets"
+	"qint/internal/relstore"
+)
+
+// ValueIndexRow is one scale point of the value-index experiment: mean
+// FindValues latency over the synthetic keyword workload through the
+// reference full scan versus the inverted value index, plus the index
+// build time (sharded by table across the worker pool).
+type ValueIndexRow struct {
+	Tables    int
+	Rows      int // total rows across the catalog
+	Keywords  int
+	ScanMean  time.Duration
+	IndexMean time.Duration
+	BuildTime time.Duration
+	Speedup   float64
+}
+
+// RunValueIndex measures scan-vs-index FindValues latency on synthetic
+// value catalogs of growing size (the qbench -exp valueindex experiment;
+// Benchmark{Scan,Index}FindValues is the single-scale bench counterpart).
+// Both modes answer every keyword and results are verified identical before
+// timing, so the comparison can never drift from the equivalence contract.
+func RunValueIndex() ([]ValueIndexRow, error) {
+	var rows []ValueIndexRow
+	for _, scale := range []struct{ tables, rowsPer int }{
+		{10, 200},
+		{40, 200},
+		{120, 200},
+	} {
+		tables, keywords := datasets.SyntheticValueCorpus(scale.tables, scale.rowsPer, 42)
+		cat := relstore.NewCatalog()
+		for _, t := range tables {
+			if err := cat.AddTable(t); err != nil {
+				return nil, fmt.Errorf("eval: valueindex: %w", err)
+			}
+		}
+		buildStart := time.Now()
+		cat.BuildValueIndex(runtime.GOMAXPROCS(0))
+		build := time.Since(buildStart)
+
+		// Correctness gate before timing anything.
+		for _, kw := range keywords {
+			if !slices.Equal(cat.ScanFindValues(kw), cat.IndexFindValues(kw)) {
+				return nil, fmt.Errorf("eval: valueindex: scan/index divergence on %q", kw)
+			}
+		}
+
+		scanStart := time.Now()
+		for _, kw := range keywords {
+			cat.ScanFindValues(kw)
+		}
+		scanMean := time.Since(scanStart) / time.Duration(len(keywords))
+		idxStart := time.Now()
+		for _, kw := range keywords {
+			cat.IndexFindValues(kw)
+		}
+		idxMean := time.Since(idxStart) / time.Duration(len(keywords))
+
+		row := ValueIndexRow{
+			Tables:    scale.tables,
+			Rows:      scale.tables * scale.rowsPer,
+			Keywords:  len(keywords),
+			ScanMean:  scanMean,
+			IndexMean: idxMean,
+			BuildTime: build,
+		}
+		if idxMean > 0 {
+			row.Speedup = float64(scanMean) / float64(idxMean)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

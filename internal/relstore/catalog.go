@@ -63,6 +63,12 @@ type Catalog struct {
 	order  []string          // insertion order of qualified names
 
 	values *valueCache // lazily built distinct values, shared across clones
+	index  *valueIndex // inverted value index segments, shared across clones
+
+	// scanFind routes FindValues through the reference full-scan
+	// implementation instead of the inverted index. Writer-side: set it
+	// before the catalog is shared with concurrent readers; Clone copies it.
+	scanFind bool
 }
 
 // valueCache holds the lazily built per-attribute distinct-value sets. It
@@ -79,25 +85,36 @@ func NewCatalog() *Catalog {
 	return &Catalog{
 		tables: make(map[string]*Table),
 		values: &valueCache{sets: make(map[AttrRef]map[string]struct{})},
+		index:  newValueIndex(),
 	}
 }
 
 // Clone returns a copy-on-write clone: the table map and order are copied
-// (tables themselves are immutable and shared), and the value-set cache is
-// shared. Mutating the clone with AddTable leaves the original untouched,
-// which is how Q keeps published catalog snapshots frozen under concurrent
-// readers while a registration builds the next generation.
+// (tables themselves are immutable and shared), and the value-set cache and
+// the inverted value index are shared — index segments are per-table and
+// immutable, so a clone that adds one table indexes only that table while
+// every generation keeps reading the same frozen segments. Mutating the
+// clone with AddTable leaves the original untouched, which is how Q keeps
+// published catalog snapshots frozen under concurrent readers while a
+// registration builds the next generation.
 func (c *Catalog) Clone() *Catalog {
 	nt := make(map[string]*Table, len(c.tables))
 	for k, v := range c.tables {
 		nt[k] = v
 	}
 	return &Catalog{
-		tables: nt,
-		order:  append([]string(nil), c.order...),
-		values: c.values,
+		tables:   nt,
+		order:    append([]string(nil), c.order...),
+		values:   c.values,
+		index:    c.index,
+		scanFind: c.scanFind,
 	}
 }
+
+// UseScanFindValues switches FindValues between the inverted value index
+// (the default) and the reference full-scan implementation. Writer-side:
+// call it before sharing the catalog with concurrent readers.
+func (c *Catalog) UseScanFindValues(scan bool) { c.scanFind = scan }
 
 // AddTable registers a table. Registering a second table under the same
 // qualified relation name is an error: sources are immutable once added.
@@ -179,7 +196,9 @@ func (c *Catalog) NumAttributes() int {
 // ValueSet returns the distinct values of the referenced attribute. The set
 // is computed once and cached; callers must not mutate it. Safe for
 // concurrent use: losers of a racing first computation adopt the winner's
-// cached set, so all callers observe one canonical map per attribute.
+// cached set, so all callers observe one canonical map per attribute. When
+// the attribute's table already has a value-index segment, the set derives
+// from the segment's distinct entries instead of re-scanning rows.
 func (c *Catalog) ValueSet(ref AttrRef) map[string]struct{} {
 	c.values.mu.RLock()
 	vs, ok := c.values.sets[ref]
@@ -195,10 +214,14 @@ func (c *Catalog) ValueSet(ref AttrRef) map[string]struct{} {
 	if i < 0 {
 		return nil
 	}
-	vs = make(map[string]struct{})
-	for _, row := range t.Rows {
-		if v := row[i]; v != "" {
-			vs[v] = struct{}{}
+	if seg := c.index.built(t); seg != nil {
+		vs = seg.valueSet(i)
+	} else {
+		vs = make(map[string]struct{})
+		for _, row := range t.Rows {
+			if v := row[i]; v != "" {
+				vs[v] = struct{}{}
+			}
 		}
 	}
 	c.values.mu.Lock()
@@ -242,11 +265,27 @@ type ValueHit struct {
 	Rows  int // number of tuples carrying this value
 }
 
-// FindValues scans the catalog for distinct values that contain the keyword
+// FindValues returns the distinct values that contain the keyword
 // (case-insensitive substring over normalised text). Q's query-graph
 // expansion uses this to lazily materialise value nodes for each keyword
 // (paper §2.2). Results are deterministic: sorted by attribute then value.
+//
+// By default it answers from the inverted value index (valueindex.go);
+// UseScanFindValues(true) routes it through the reference full scan
+// instead. Both implementations return byte-identical results.
 func (c *Catalog) FindValues(keyword string) []ValueHit {
+	if c.scanFind {
+		return c.ScanFindValues(keyword)
+	}
+	return c.IndexFindValues(keyword)
+}
+
+// ScanFindValues is the reference FindValues implementation: a full scan of
+// every row of every table, normalising each value per keyword. It is kept
+// as the executable specification the index is verified against (the
+// metamorphic suite in valueindex_test.go) and as the implementation behind
+// UseScanFindValues.
+func (c *Catalog) ScanFindValues(keyword string) []ValueHit {
 	kw := text.Normalize(keyword)
 	if kw == "" {
 		return nil
@@ -274,12 +313,7 @@ func (c *Catalog) FindValues(keyword string) []ValueHit {
 			}
 		}
 	}
-	sort.Slice(hits, func(i, j int) bool {
-		if hits[i].Ref != hits[j].Ref {
-			return hits[i].Ref.String() < hits[j].Ref.String()
-		}
-		return hits[i].Value < hits[j].Value
-	})
+	sortHits(hits)
 	return hits
 }
 

@@ -155,31 +155,41 @@ func TestValueSetAndOverlap(t *testing.T) {
 }
 
 func TestFindValues(t *testing.T) {
-	c := testCatalog(t)
-	hits := c.FindValues("membrane")
-	// "plasma membrane" in go.term.name and "Membrane protein" in ip.entry.name
-	if len(hits) != 2 {
-		t.Fatalf("FindValues(membrane) = %v, want 2 hits", hits)
-	}
-	if hits[0].Ref.Relation != "go.term" || hits[1].Ref.Relation != "ip.entry" {
-		t.Errorf("hit order/content wrong: %v", hits)
-	}
-	if hits := c.FindValues(""); hits != nil {
-		t.Errorf("empty keyword should match nothing, got %v", hits)
-	}
-	// Value appearing in multiple rows reports row count.
-	hits = c.FindValues("GO:0005886")
-	var found bool
-	for _, h := range hits {
-		if h.Ref.Relation == "ip.interpro2go" && h.Rows != 2 {
-			t.Errorf("GO:0005886 appears in 2 rows of interpro2go, got %d", h.Rows)
-		}
-		if h.Ref.Relation == "ip.interpro2go" {
-			found = true
-		}
-	}
-	if !found {
-		t.Error("expected a hit in ip.interpro2go")
+	// The contract must hold identically through the inverted value index
+	// (the default) and the reference scan.
+	for _, mode := range []struct {
+		name string
+		scan bool
+	}{{"index", false}, {"scan", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			c := testCatalog(t)
+			c.UseScanFindValues(mode.scan)
+			hits := c.FindValues("membrane")
+			// "plasma membrane" in go.term.name and "Membrane protein" in ip.entry.name
+			if len(hits) != 2 {
+				t.Fatalf("FindValues(membrane) = %v, want 2 hits", hits)
+			}
+			if hits[0].Ref.Relation != "go.term" || hits[1].Ref.Relation != "ip.entry" {
+				t.Errorf("hit order/content wrong: %v", hits)
+			}
+			if hits := c.FindValues(""); hits != nil {
+				t.Errorf("empty keyword should match nothing, got %v", hits)
+			}
+			// Value appearing in multiple rows reports row count.
+			hits = c.FindValues("GO:0005886")
+			var found bool
+			for _, h := range hits {
+				if h.Ref.Relation == "ip.interpro2go" && h.Rows != 2 {
+					t.Errorf("GO:0005886 appears in 2 rows of interpro2go, got %d", h.Rows)
+				}
+				if h.Ref.Relation == "ip.interpro2go" {
+					found = true
+				}
+			}
+			if !found {
+				t.Error("expected a hit in ip.interpro2go")
+			}
+		})
 	}
 }
 

@@ -1,0 +1,390 @@
+package relstore
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"qint/internal/text"
+)
+
+// This file is the incremental inverted value index behind FindValues: a
+// character-trigram (plus whole-token) index from normalised text to posting
+// lists of distinct attribute values. It replaces the per-keyword full
+// catalog scan — previously the dominant per-query cost on large catalogs —
+// while preserving the scan's case-insensitive-substring contract exactly
+// (ScanFindValues remains as the reference implementation, and the
+// metamorphic suite in valueindex_test.go pins byte-identical results).
+//
+// Structure. The index is sharded by table: each *Table gets one immutable
+// segment holding the table's distinct (attribute, value) entries — sorted
+// by attribute then value — with each entry's normalised form and row
+// count, plus two posting maps over entry ids: every character trigram of
+// the normalised value, and every whole token. Segments are built once per
+// table (tables are immutable after AddTable) and never mutated, so the
+// segment cache is shared across Catalog.Clone exactly like the lazy
+// ValueSet cache — a registration that clones the catalog and adds one
+// table indexes ONLY that table, and every published copy-on-write
+// generation keeps reading the same frozen segments. Lookups that build a
+// missing segment synchronise on the cache's own mutex; losers of a racing
+// build adopt the winner's segment, so concurrent readers stay race-free
+// and observe one canonical segment per table.
+//
+// Lookup. A keyword is normalised, then:
+//   - len ≥ 3 runes: candidates are the intersection of the keyword's
+//     trigram posting lists (smallest first; any absent trigram short-
+//     circuits to no hits). Candidates whose ids also appear on the
+//     keyword's whole-token posting list are accepted outright (a token is
+//     always a substring of its value — the exact-token fast path); the
+//     rest are verified with one strings.Contains over the precomputed
+//     normalised value.
+//   - len < 3 runes (shorter than the trigram width): deterministic
+//     fallback — every entry of the segment is verified directly. This
+//     still touches only distinct values with precomputed normalisations,
+//     never raw rows.
+//
+// Hits from all segments are merged under the same final ordering as the
+// reference scan, so results are deterministic and identical in both modes.
+
+// indexEntry is one distinct (attribute, value) pair of a table: the raw
+// value, its normalised form, and how many rows carry it.
+type indexEntry struct {
+	attr int // attribute index within the relation
+	val  string
+	norm string
+	rows int
+}
+
+// segment is the immutable per-table shard of the value index.
+type segment struct {
+	rel       string   // qualified relation name
+	attrs     []string // attribute names, declaration order
+	entries   []indexEntry
+	attrStart []int              // entries[attrStart[i]:attrStart[i+1]] belong to attribute i
+	grams     map[string][]int32 // normalised-value trigram -> sorted entry ids
+	tokens    map[string][]int32 // normalised-value whole token -> sorted entry ids
+}
+
+// valueIndex is the catalog-wide segment cache, shared between a catalog
+// and its clones (see Catalog.Clone): segments are keyed by table identity
+// and tables are immutable, so a segment stays correct in every catalog
+// generation that contains its table.
+type valueIndex struct {
+	mu   sync.RWMutex
+	segs map[*Table]*segment
+}
+
+func newValueIndex() *valueIndex {
+	return &valueIndex{segs: make(map[*Table]*segment)}
+}
+
+// segmentFor returns the table's segment, building it on first use. Safe
+// for concurrent use: a racing build is resolved by adopting the winner.
+func (x *valueIndex) segmentFor(t *Table) *segment {
+	x.mu.RLock()
+	s := x.segs[t]
+	x.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	s = buildSegment(t)
+	x.mu.Lock()
+	if won, ok := x.segs[t]; ok {
+		s = won
+	} else {
+		x.segs[t] = s
+	}
+	x.mu.Unlock()
+	return s
+}
+
+// built returns the table's segment only if it has already been built —
+// the "derive, don't rebuild" path ValueSet uses.
+func (x *valueIndex) built(t *Table) *segment {
+	x.mu.RLock()
+	s := x.segs[t]
+	x.mu.RUnlock()
+	return s
+}
+
+// buildSegment indexes one table: distinct values with row counts per
+// attribute, sorted by (attribute, value), plus trigram and token postings
+// over the normalised forms. Posting lists come out sorted because entry
+// ids are assigned in final entry order.
+func buildSegment(t *Table) *segment {
+	nAttr := len(t.Relation.Attributes)
+	s := &segment{
+		rel:       t.Relation.QualifiedName(),
+		attrs:     make([]string, nAttr),
+		attrStart: make([]int, nAttr+1),
+		grams:     make(map[string][]int32),
+		tokens:    make(map[string][]int32),
+	}
+	counts := make([]map[string]int, nAttr)
+	for i, a := range t.Relation.Attributes {
+		s.attrs[i] = a.Name
+		counts[i] = make(map[string]int)
+	}
+	for _, row := range t.Rows {
+		for ai := 0; ai < nAttr; ai++ {
+			if v := row[ai]; v != "" {
+				counts[ai][v]++
+			}
+		}
+	}
+	for ai := 0; ai < nAttr; ai++ {
+		s.attrStart[ai] = len(s.entries)
+		vals := make([]string, 0, len(counts[ai]))
+		for v := range counts[ai] {
+			vals = append(vals, v)
+		}
+		sort.Strings(vals)
+		for _, v := range vals {
+			s.entries = append(s.entries, indexEntry{
+				attr: ai,
+				val:  v,
+				norm: text.Normalize(v),
+				rows: counts[ai][v],
+			})
+		}
+	}
+	s.attrStart[nAttr] = len(s.entries)
+	for id, e := range s.entries {
+		postEntry(s, int32(id), e.norm)
+	}
+	return s
+}
+
+// postEntry adds one entry's distinct trigrams and tokens to the posting
+// maps. Ids arrive in increasing order, so each list stays sorted.
+func postEntry(s *segment, id int32, norm string) {
+	seen := make(map[string]struct{})
+	r := []rune(norm)
+	for i := 0; i+3 <= len(r); i++ {
+		g := string(r[i : i+3])
+		if _, dup := seen[g]; dup {
+			continue
+		}
+		seen[g] = struct{}{}
+		s.grams[g] = append(s.grams[g], id)
+	}
+	for _, tok := range strings.Fields(norm) {
+		key := "\x00" + tok // token namespace, cannot collide with trigrams
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		s.tokens[tok] = append(s.tokens[tok], id)
+	}
+}
+
+// find appends this segment's hits for the (already normalised, non-empty)
+// keyword to out, in (attribute, value) order. trigrams is the keyword's
+// deduplicated trigram list, computed once per lookup by the caller; nil
+// means the keyword is below the trigram width.
+func (s *segment) find(nkw string, trigrams []string, out []ValueHit) []ValueHit {
+	if trigrams == nil {
+		// Short-keyword fallback: verify every distinct value directly.
+		for _, e := range s.entries {
+			if strings.Contains(e.norm, nkw) {
+				out = append(out, s.hit(e))
+			}
+		}
+		return out
+	}
+	cand := s.trigramCandidates(trigrams)
+	if len(cand) == 0 {
+		return out
+	}
+	// Exact-token fast path: candidate ids on the keyword's whole-token
+	// posting list are matches by construction — skip verification.
+	exact := s.tokens[nkw]
+	ei := 0
+	for _, id := range cand {
+		for ei < len(exact) && exact[ei] < id {
+			ei++
+		}
+		e := s.entries[id]
+		if ei < len(exact) && exact[ei] == id {
+			out = append(out, s.hit(e))
+			continue
+		}
+		if strings.Contains(e.norm, nkw) {
+			out = append(out, s.hit(e))
+		}
+	}
+	return out
+}
+
+func (s *segment) hit(e indexEntry) ValueHit {
+	return ValueHit{
+		Ref:   AttrRef{Relation: s.rel, Attr: s.attrs[e.attr]},
+		Value: e.val,
+		Rows:  e.rows,
+	}
+}
+
+// keywordTrigrams returns the deduplicated trigram list of an
+// already-normalised keyword, or nil when it is below the trigram width.
+// Computed once per IndexFindValues call and shared by every segment.
+func keywordTrigrams(nkw string) []string {
+	r := []rune(nkw)
+	if len(r) < 3 {
+		return nil
+	}
+	seen := make(map[string]struct{}, len(r))
+	grams := make([]string, 0, len(r)-2)
+	for i := 0; i+3 <= len(r); i++ {
+		g := string(r[i : i+3])
+		if _, dup := seen[g]; dup {
+			continue
+		}
+		seen[g] = struct{}{}
+		grams = append(grams, g)
+	}
+	return grams
+}
+
+// trigramCandidates intersects the posting lists of the keyword's distinct
+// trigrams, smallest list first. Any absent trigram means no value can
+// contain the keyword.
+func (s *segment) trigramCandidates(trigrams []string) []int32 {
+	lists := make([][]int32, 0, len(trigrams))
+	for _, g := range trigrams {
+		l, ok := s.grams[g]
+		if !ok {
+			return nil
+		}
+		lists = append(lists, l)
+	}
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	cand := lists[0]
+	for _, l := range lists[1:] {
+		cand = intersectSorted(cand, l)
+		if len(cand) == 0 {
+			return nil
+		}
+	}
+	return cand
+}
+
+// intersectSorted intersects two ascending id lists. The result aliases
+// neither input.
+func intersectSorted(a, b []int32) []int32 {
+	out := make([]int32, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// valueSet materialises the distinct-value set of one attribute from the
+// segment's entries — the index-backed ValueSet derivation.
+func (s *segment) valueSet(attrIdx int) map[string]struct{} {
+	if attrIdx < 0 || attrIdx >= len(s.attrs) {
+		return nil
+	}
+	span := s.entries[s.attrStart[attrIdx]:s.attrStart[attrIdx+1]]
+	vs := make(map[string]struct{}, len(span))
+	for _, e := range span {
+		vs[e.val] = struct{}{}
+	}
+	return vs
+}
+
+// sortHits puts hits into the canonical FindValues order: by attribute
+// reference, then value. Both FindValues implementations share it, so the
+// two are byte-identical including ordering.
+func sortHits(hits []ValueHit) {
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Ref != hits[j].Ref {
+			return hits[i].Ref.String() < hits[j].Ref.String()
+		}
+		return hits[i].Value < hits[j].Value
+	})
+}
+
+// IndexFindValues answers FindValues from the inverted value index,
+// building any missing table segments on the way (each table indexes
+// exactly once; registrations therefore only ever index their own new
+// tables). Results are identical to ScanFindValues in content and order.
+func (c *Catalog) IndexFindValues(keyword string) []ValueHit {
+	kw := text.Normalize(keyword)
+	if kw == "" {
+		return nil
+	}
+	trigrams := keywordTrigrams(kw)
+	var hits []ValueHit
+	for _, qn := range c.order {
+		t := c.tables[qn]
+		hits = c.index.segmentFor(t).find(kw, trigrams, hits)
+	}
+	sortHits(hits)
+	return hits
+}
+
+// EnsureIndexed builds the value-index segment for one relation if it is
+// missing. It is the unit of incremental index maintenance: callers
+// registering new tables fan EnsureIndexed over their worker pool (one
+// shard per table) instead of rebuilding anything global.
+func (c *Catalog) EnsureIndexed(qualified string) {
+	if t := c.tables[qualified]; t != nil {
+		c.index.segmentFor(t)
+	}
+}
+
+// BuildValueIndex builds every missing table segment, fanning across at
+// most workers goroutines (workers <= 1 builds serially). Tools and
+// benchmarks use it to pre-warm the index; query paths build lazily.
+func (c *Catalog) BuildValueIndex(workers int) {
+	n := len(c.order)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for _, qn := range c.order {
+			c.EnsureIndexed(qn)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	work := make(chan string)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for qn := range work {
+				c.EnsureIndexed(qn)
+			}
+		}()
+	}
+	for _, qn := range c.order {
+		work <- qn
+	}
+	close(work)
+	wg.Wait()
+}
+
+// IndexedRelations reports how many of the catalog's relations currently
+// have a built index segment (for tests and stats).
+func (c *Catalog) IndexedRelations() int {
+	c.index.mu.RLock()
+	defer c.index.mu.RUnlock()
+	n := 0
+	for _, qn := range c.order {
+		if _, ok := c.index.segs[c.tables[qn]]; ok {
+			n++
+		}
+	}
+	return n
+}

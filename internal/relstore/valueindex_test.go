@@ -1,0 +1,390 @@
+package relstore
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"qint/internal/text"
+)
+
+// The property under test: IndexFindValues is observationally identical to
+// ScanFindValues — same hits, same row counts, same order, same nil-ness —
+// for ANY catalog and ANY keyword. The scan is the executable
+// specification; the index is an optimisation that must never change a
+// single byte of the answer.
+
+// indexVocab mixes the value shapes the normaliser and the trigram index
+// have to agree on: plain words, multi-word phrases, identifiers with
+// punctuation, unicode (accents, greek, CJK), digits, strings that
+// normalise to nothing, and near-collisions sharing trigrams.
+var indexVocab = []string{
+	"plasma membrane", "membrane", "Membrane protein", "nucleus", "nucleolus",
+	"GO:0005886", "GO:0005634", "IPR000001", "IPR000002",
+	"zinc finger", "Zinc Finger Domain", "kringle", "Kringle domain",
+	"café au lait", "naïve", "Ångström", "βeta-catenin", "東京タワー", "protéine",
+	"!!!", "@#$%", "  ", "--::--", "42", "3.14159", "0005886",
+	"a", "ab", "abc", "abcd", "membranes and proteins",
+	"transmembrane transport", "the membrane-bound organelle",
+	"PUB0001", "pub0001x", "xPUB0001", "entry_ac", "entry ac",
+}
+
+// randomIndexCatalog builds a catalog of random tables whose values are
+// drawn from indexVocab (sometimes empty, sometimes random composites), so
+// keyword hits land across tables and attributes.
+func randomIndexCatalog(t *testing.T, r *rand.Rand) *Catalog {
+	t.Helper()
+	c := NewCatalog()
+	nTables := 1 + r.Intn(4)
+	for ti := 0; ti < nTables; ti++ {
+		nAttr := 1 + r.Intn(4)
+		attrs := make([]Attribute, nAttr)
+		for ai := range attrs {
+			attrs[ai] = Attribute{Name: fmt.Sprintf("attr%d", ai)}
+		}
+		rel := &Relation{
+			Source:     fmt.Sprintf("src%d", ti%3),
+			Name:       fmt.Sprintf("tab%d", ti),
+			Attributes: attrs,
+		}
+		rows := make([][]string, r.Intn(30))
+		for i := range rows {
+			row := make([]string, nAttr)
+			for ai := range row {
+				switch r.Intn(10) {
+				case 0:
+					row[ai] = "" // empty values are skipped by both impls
+				case 1:
+					// Composite phrase: stresses multi-token and space grams.
+					row[ai] = indexVocab[r.Intn(len(indexVocab))] + " " +
+						indexVocab[r.Intn(len(indexVocab))]
+				default:
+					row[ai] = indexVocab[r.Intn(len(indexVocab))]
+				}
+			}
+			rows[i] = row
+		}
+		tb, err := NewTable(rel, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AddTable(tb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+// indexKeywords is the keyword battery every random catalog is probed with:
+// present and absent terms, unicode, empty, whitespace- and punctuation-only
+// (both normalise to nothing), single- and two-rune keywords (below the
+// trigram width), exact tokens, substrings of tokens, multi-token phrases,
+// and whole values.
+func indexKeywords(r *rand.Rand, c *Catalog) []string {
+	kws := []string{
+		"", " ", "\t\n", "!?;", "€∞", // normalise to ""
+		"a", "é", "京", "ab", "GO", "aβ", // shorter than a trigram
+		"membrane", "MEMBRANE", "Membrane Protein", "plasma membrane",
+		"mbran", "embr", "005886", "GO:0005886", "kringle domain",
+		"no-such-keyword-zzqqx", "zzz zzz zzz",
+		"café", "βeta", "東京", "ngström",
+	}
+	// A few keywords carved from actual catalog values: whole value, one
+	// token, and an inner substring of a token (rune-safe).
+	for _, qn := range c.RelationNames() {
+		tb := c.Table(qn)
+		for _, row := range tb.Rows {
+			for _, v := range row {
+				if v == "" || r.Intn(6) != 0 {
+					continue
+				}
+				kws = append(kws, v)
+				norm := text.Normalize(v)
+				toks := text.Tokenize(v)
+				if len(toks) > 0 {
+					kws = append(kws, toks[r.Intn(len(toks))])
+				}
+				if rn := []rune(norm); len(rn) > 2 {
+					lo := r.Intn(len(rn) - 2)
+					hi := lo + 2 + r.Intn(len(rn)-lo-2+1)
+					kws = append(kws, string(rn[lo:hi]))
+				}
+			}
+		}
+	}
+	return kws
+}
+
+// TestFindValuesScanIndexEquivalence is the metamorphic suite: across
+// randomised catalogs and the full keyword battery, the index answer must
+// be deep-equal to the reference scan — content, counts, order and nil-ness.
+func TestFindValuesScanIndexEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			r := rand.New(rand.NewSource(seed))
+			c := randomIndexCatalog(t, r)
+			for _, kw := range indexKeywords(r, c) {
+				scan := c.ScanFindValues(kw)
+				idx := c.IndexFindValues(kw)
+				if !reflect.DeepEqual(scan, idx) {
+					t.Fatalf("FindValues(%q) diverged\nscan:  %v\nindex: %v", kw, scan, idx)
+				}
+			}
+		})
+	}
+}
+
+// TestFindValuesModeDispatch pins the FindValues switch: index mode by
+// default, reference scan behind UseScanFindValues, identical answers, and
+// the mode surviving Clone.
+func TestFindValuesModeDispatch(t *testing.T) {
+	c := testCatalog(t)
+	idx := c.FindValues("membrane")
+	c.UseScanFindValues(true)
+	scan := c.FindValues("membrane")
+	if !reflect.DeepEqual(idx, scan) {
+		t.Fatalf("mode dispatch diverged\nindex: %v\nscan:  %v", idx, scan)
+	}
+	if len(idx) != 2 {
+		t.Fatalf("FindValues(membrane) = %v, want 2 hits", idx)
+	}
+	clone := c.Clone()
+	if !reflect.DeepEqual(clone.FindValues("membrane"), scan) {
+		t.Error("clone did not inherit scan mode")
+	}
+	c.UseScanFindValues(false)
+	if !reflect.DeepEqual(c.FindValues("membrane"), idx) {
+		t.Error("switching back to index mode changed the answer")
+	}
+}
+
+// TestIndexFindValuesConcurrent hammers IndexFindValues from many
+// goroutines against a catalog whose segments have NOT been pre-built, so
+// lazy segment construction races with itself and with reads. Run under
+// -race; every answer must equal the quiesced reference scan.
+func TestIndexFindValuesConcurrent(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	c := randomIndexCatalog(t, r)
+	kws := []string{"membrane", "GO:0005886", "ab", "é", "plasma membrane", "005886", "zzqqx", ""}
+	want := make([][]ValueHit, len(kws))
+	ref := randomIndexCatalog(t, rand.New(rand.NewSource(99))) // identical build
+	for i, kw := range kws {
+		want[i] = ref.ScanFindValues(kw)
+	}
+
+	const readers = 8
+	const rounds = 20
+	var wg sync.WaitGroup
+	errc := make(chan error, readers)
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				k := (g + i) % len(kws)
+				if got := c.IndexFindValues(kws[k]); !reflect.DeepEqual(got, want[k]) {
+					errc <- fmt.Errorf("reader %d: FindValues(%q) = %v, want %v", g, kws[k], got, want[k])
+					return
+				}
+			}
+			errc <- nil
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestIndexIncrementalAcrossClones pins the copy-on-write contract: cloning
+// shares built segments, AddTable on the clone indexes ONLY the new table,
+// and the original catalog's answers never change — concurrent readers of
+// the original race the clone's writer under -race.
+func TestIndexIncrementalAcrossClones(t *testing.T) {
+	c := testCatalog(t)
+	c.BuildValueIndex(4)
+	if got := c.IndexedRelations(); got != c.NumRelations() {
+		t.Fatalf("IndexedRelations = %d, want %d", got, c.NumRelations())
+	}
+	wantOrig := c.IndexFindValues("membrane")
+
+	clone := c.Clone()
+	if got := clone.IndexedRelations(); got != clone.NumRelations() {
+		t.Fatalf("clone should inherit built segments: %d of %d", got, clone.NumRelations())
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if got := c.IndexFindValues("membrane"); !reflect.DeepEqual(got, wantOrig) {
+					t.Errorf("original catalog's answer changed under a clone writer: %v", got)
+					return
+				}
+			}
+		}()
+	}
+
+	// Writer: grow the clone with a table that also matches "membrane".
+	rel := &Relation{Source: "new", Name: "notes",
+		Attributes: []Attribute{{Name: "body"}}}
+	tb, err := NewTable(rel, [][]string{{"membrane transport"}, {"unrelated"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clone.AddTable(tb); err != nil {
+		t.Fatal(err)
+	}
+	clone.EnsureIndexed("new.notes")
+	close(stop)
+	wg.Wait()
+
+	// Incremental: exactly one segment was added, no rebuilds.
+	if got := clone.IndexedRelations(); got != clone.NumRelations() {
+		t.Fatalf("clone IndexedRelations = %d, want %d", got, clone.NumRelations())
+	}
+	got := clone.IndexFindValues("membrane")
+	want := clone.ScanFindValues("membrane")
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("clone index diverged from scan after AddTable\nindex: %v\nscan:  %v", got, want)
+	}
+	if len(got) != len(wantOrig)+1 {
+		t.Fatalf("clone should see the new table's hit: %v", got)
+	}
+	if !reflect.DeepEqual(c.IndexFindValues("membrane"), wantOrig) {
+		t.Fatal("original catalog sees the clone's table")
+	}
+}
+
+// TestValueSetFromIndexSegments pins the ValueSet derivation: with segments
+// built, ValueSet comes from index entries and must equal the row-scan set
+// for every attribute, and ValueJaccard must be bit-identical between an
+// indexed catalog and an unindexed twin.
+func TestValueSetFromIndexSegments(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	indexed := randomIndexCatalog(t, r)
+	indexed.BuildValueIndex(4)
+	plain := randomIndexCatalog(t, rand.New(rand.NewSource(7))) // identical twin, no index
+
+	refs := indexed.AttrRefs()
+	if !reflect.DeepEqual(refs, plain.AttrRefs()) {
+		t.Fatal("twin catalogs differ")
+	}
+	for _, ref := range refs {
+		a, b := indexed.ValueSet(ref), plain.ValueSet(ref)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("ValueSet(%v) diverged\nindex-derived: %v\nrow-scan:      %v", ref, a, b)
+		}
+	}
+	for i := 0; i < len(refs); i++ {
+		for j := i + 1; j < len(refs); j++ {
+			ji := indexed.ValueJaccard(refs[i], refs[j])
+			jp := plain.ValueJaccard(refs[i], refs[j])
+			if ji != jp {
+				t.Fatalf("ValueJaccard(%v, %v): index-derived %v != row-scan %v",
+					refs[i], refs[j], ji, jp)
+			}
+			if oi, op := indexed.ValueOverlap(refs[i], refs[j]), plain.ValueOverlap(refs[i], refs[j]); oi != op {
+				t.Fatalf("ValueOverlap(%v, %v): %d != %d", refs[i], refs[j], oi, op)
+			}
+		}
+	}
+	// Unknown relation/attribute still answer nil through the index path.
+	if indexed.ValueSet(AttrRef{Relation: "missing.rel", Attr: "a"}) != nil {
+		t.Error("missing relation should give nil value set")
+	}
+	if indexed.ValueSet(AttrRef{Relation: refs[0].Relation, Attr: "ghost"}) != nil {
+		t.Error("missing attribute should give nil value set")
+	}
+}
+
+// TestFindValuesShortKeywords pins the below-trigram-width edge: empty and
+// normalise-to-empty keywords return nil, and one- and two-rune keywords
+// take the deterministic fallback with answers identical to the scan.
+func TestFindValuesShortKeywords(t *testing.T) {
+	c := NewCatalog()
+	rel := &Relation{Source: "s", Name: "t",
+		Attributes: []Attribute{{Name: "v"}}}
+	tb, err := NewTable(rel, [][]string{
+		{"ab"}, {"abc"}, {"a b"}, {"xaby"}, {"AB"}, {"Ω"}, {"ωmega"},
+		{"b"}, {"!!"}, {""}, {"a"}, {"ba"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTable(tb); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		kw   string
+		want []string // matching values, in output order (nil = no hits)
+	}{
+		{"", nil},
+		{"   ", nil},
+		{"!?", nil}, // punctuation-only: normalises to ""
+		// Hits sort by raw value bytes: uppercase before lowercase, and
+		// "ωmega" matches "a" (its final rune).
+		{"a", []string{"AB", "a", "a b", "ab", "abc", "ba", "xaby", "ωmega"}},
+		{"b", []string{"AB", "a b", "ab", "abc", "b", "ba", "xaby"}},
+		{"ab", []string{"AB", "ab", "abc", "xaby"}},
+		{"a b", []string{"a b"}},
+		{"ω", []string{"Ω", "ωmega"}}, // unicode, one rune, case-folded
+		{"abc", []string{"abc"}},      // exactly trigram width
+		{"zz", nil},
+	}
+	for _, tc := range cases {
+		idx := c.IndexFindValues(tc.kw)
+		scan := c.ScanFindValues(tc.kw)
+		if !reflect.DeepEqual(idx, scan) {
+			t.Errorf("kw %q: index %v != scan %v", tc.kw, idx, scan)
+			continue
+		}
+		var got []string
+		for _, h := range idx {
+			got = append(got, h.Value)
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("kw %q: values = %v, want %v", tc.kw, got, tc.want)
+		}
+	}
+	// Determinism: repeated calls are identical.
+	for i := 0; i < 3; i++ {
+		if !reflect.DeepEqual(c.IndexFindValues("a"), c.IndexFindValues("a")) {
+			t.Fatal("short-keyword fallback is nondeterministic")
+		}
+	}
+}
+
+// TestIndexRowCounts pins the Rows field through the index path: a value
+// appearing in several rows reports its multiplicity, matching the scan.
+func TestIndexRowCounts(t *testing.T) {
+	c := testCatalog(t)
+	hits := c.IndexFindValues("GO:0005886")
+	found := false
+	for _, h := range hits {
+		if h.Ref.Relation == "ip.interpro2go" {
+			found = true
+			if h.Rows != 2 {
+				t.Errorf("GO:0005886 appears in 2 rows of interpro2go, got %d", h.Rows)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("expected a hit in ip.interpro2go, got %v", hits)
+	}
+}

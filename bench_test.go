@@ -417,6 +417,120 @@ func BenchmarkIndexFindValues(b *testing.B) {
 	}
 }
 
+// --- Sharded-catalog benchmarks ---------------------------------------------
+//
+// The sharding tentpole: the same catalog-wide work on the 120-table
+// synthetic value catalog through a single-shard catalog (the pre-sharding
+// serial path: one partition, so every per-shard fan-out degenerates to one
+// worker) versus the default sharded catalog (GOMAXPROCS partitions, one
+// worker per shard). The metamorphic suites (internal/relstore/shard_test.go,
+// internal/core/shard_test.go) prove every answer byte-identical; these
+// pairs prove the speedup is real on multi-core hardware (the fan-out is
+// pure CPU work, so expect parity at GOMAXPROCS=1 and ≥2x from 4 cores up).
+// CI runs all three pairs once per push; cmd/qbench -exp shard prints the
+// same comparison standalone across shard counts.
+
+// benchShardCatalog builds the 120-table synthetic value catalog at an
+// explicit shard count (0 = default) with the index pre-built, so the timed
+// sections measure steady-state work, not first-touch construction.
+func benchShardCatalog(b *testing.B, shards int) (*relstore.Catalog, []string) {
+	b.Helper()
+	tables, keywords := datasets.SyntheticValueCorpus(120, 200, 42)
+	cat := relstore.NewCatalogSharded(shards)
+	cat.SetParallelism(runtime.GOMAXPROCS(0))
+	for _, t := range tables {
+		if err := cat.AddTable(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cat.BuildValueIndex(runtime.GOMAXPROCS(0))
+	return cat, keywords
+}
+
+func benchShardFindValues(b *testing.B, shards int) {
+	cat, keywords := benchShardCatalog(b, shards)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cat.IndexFindValues(keywords[i%len(keywords)])
+	}
+}
+
+func BenchmarkUnshardedFindValues(b *testing.B) { benchShardFindValues(b, 1) }
+func BenchmarkShardedFindValues(b *testing.B)   { benchShardFindValues(b, 0) }
+
+// benchShardRegister measures the catalog side of one source registration —
+// Clone, AddTable for a 16-table source, and the incremental index build of
+// exactly those tables — at the given shard count. Fresh tables every
+// iteration, so no segment is ever reused across iterations.
+func benchShardRegister(b *testing.B, shards int) {
+	cat, _ := benchShardCatalog(b, shards)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		newTables := make([]*relstore.Table, 16)
+		for ti := range newTables {
+			rel := &relstore.Relation{Source: fmt.Sprintf("reg%d", i), Name: fmt.Sprintf("data%d", ti),
+				Attributes: []relstore.Attribute{{Name: "acc"}, {Name: "name"}, {Name: "description"}}}
+			rows := make([][]string, 200)
+			for ri := range rows {
+				rows[ri] = []string{
+					fmt.Sprintf("REG%d:%07d", ti, ri*31%997),
+					fmt.Sprintf("pro mem %d", ri%13),
+					fmt.Sprintf("ter gly fer %d bra %d", ri%7, ri%29),
+				}
+			}
+			t, err := relstore.NewTable(rel, rows)
+			if err != nil {
+				b.Fatal(err)
+			}
+			newTables[ti] = t
+		}
+		b.StartTimer()
+		clone := cat.Clone()
+		for _, t := range newTables {
+			if err := clone.AddTable(t); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// Builds ONLY the 16 new segments: the base segments are shared
+		// frozen across the clone (the incremental-maintenance contract).
+		clone.BuildValueIndex(runtime.GOMAXPROCS(0))
+	}
+}
+
+func BenchmarkUnshardedRegister(b *testing.B) { benchShardRegister(b, 1) }
+func BenchmarkShardedRegister(b *testing.B)   { benchShardRegister(b, 0) }
+
+// benchShardQueryExec measures conjunctive-query branch execution fanned
+// across the worker pool: one selection query per table of the synthetic
+// catalog, executed as one batch per iteration. What varies between the
+// pair is the WORKER count — ExecuteBatch fans per query, and Execute's
+// reads are shard-agnostic — so this pair quantifies the branch-execution
+// fan-out that rides on the sharded catalog's parallelism knob, not a
+// per-shard partition of the executor itself.
+func benchShardQueryExec(b *testing.B, shards, workers int) {
+	cat, _ := benchShardCatalog(b, shards)
+	var queries []*relstore.ConjunctiveQuery
+	for _, qn := range cat.RelationNames() {
+		queries = append(queries, &relstore.ConjunctiveQuery{
+			Atoms:   []relstore.Atom{{Relation: qn, Alias: "t0"}},
+			Selects: []relstore.SelCond{{Alias: "t0", Attr: "description", Op: relstore.OpContains, Value: "pro"}},
+			Project: []relstore.ProjCol{{Alias: "t0", Attr: "acc", As: "acc"}, {Alias: "t0", Attr: "name", As: "name"}},
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := relstore.ExecuteBatch(cat, queries, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnshardedQueryExec(b *testing.B) { benchShardQueryExec(b, 1, 1) }
+func BenchmarkShardedQueryExec(b *testing.B) {
+	benchShardQueryExec(b, 0, runtime.GOMAXPROCS(0))
+}
+
 // BenchmarkRegisterSource measures one new-source registration under each
 // strategy against the GBCO corpus.
 func BenchmarkRegisterSource(b *testing.B) {

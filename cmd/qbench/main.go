@@ -3,7 +3,7 @@
 // reports. Use -exp to run a single experiment.
 //
 //	qbench            # run everything
-//	qbench -exp fig7  # one of: table1 fig6 fig7 fig8 fig10 fig11 fig12 table2 ablation propagation parallel snapshot valueindex
+//	qbench -exp fig7  # one of: table1 fig6 fig7 fig8 fig10 fig11 fig12 table2 ablation propagation parallel snapshot valueindex shard
 package main
 
 import (
@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig6, fig7, fig8, table1, fig10, fig11, fig12, table2, ablation, parallel, snapshot, valueindex")
+	exp := flag.String("exp", "all", "experiment to run: all, fig6, fig7, fig8, table1, fig10, fig11, fig12, table2, ablation, parallel, snapshot, valueindex, shard")
 	flag.Parse()
 
 	runners := []struct {
@@ -44,6 +44,7 @@ func main() {
 		{"parallel", parallel},
 		{"snapshot", snapshot},
 		{"valueindex", valueindex},
+		{"shard", shard},
 	}
 	ran := false
 	for _, r := range runners {
@@ -249,6 +250,26 @@ func valueindex() error {
 	for _, r := range rows {
 		fmt.Printf("%-8d %-8d %-9d %12v %12v %12v %8.1fx\n",
 			r.Tables, r.Rows, r.Keywords, r.ScanMean, r.IndexMean, r.BuildTime, r.Speedup)
+	}
+	return nil
+}
+
+// shard compares catalog-wide operations across catalog shard counts — the
+// standalone counterpart of Benchmark{Unsharded,Sharded}{FindValues,
+// Register,QueryExec}. Every row's answers are verified byte-identical to
+// the single-shard reference before timing.
+func shard() error {
+	rows, err := eval.RunShard()
+	if err != nil {
+		return err
+	}
+	header(fmt.Sprintf("Sharded catalog: catalog-wide operations vs shard count (120 tables, GOMAXPROCS=%d)",
+		runtime.GOMAXPROCS(0)))
+	fmt.Printf("%-8s %-8s %12s %12s %14s %12s\n",
+		"Shards", "Tables", "IndexBuild", "Find/kw", "Register(16t)", "ExecBatch")
+	for _, r := range rows {
+		fmt.Printf("%-8d %-8d %12v %12v %14v %12v\n",
+			r.Shards, r.Tables, r.BuildTime, r.FindMean, r.RegTime, r.ExecTime)
 	}
 	return nil
 }

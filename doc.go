@@ -83,6 +83,38 @@
 // a large synthetic catalog and runs in CI; cmd/qbench -exp valueindex
 // prints the comparison across catalog scales.
 //
+// # Sharded catalog
+//
+// The catalog itself is hash-partitioned: relstore.Catalog divides its
+// tables by qualified-name hash into N shards (core.Options.Shards, default
+// GOMAXPROCS), each owning its own table map, lazy distinct-value cache and
+// immutable value-index segments. Catalog-wide operations fan out across
+// the worker bound — keyword→value lookups (FindValues) and value-index
+// builds one worker per shard, the value-overlap pair generation that
+// prunes registration-time alignment comparisons one worker per attribute
+// — and merge under deterministic total orders, so the shard count never
+// changes a single byte of any
+// answer: the metamorphic suites (internal/relstore/shard_test.go,
+// internal/core/shard_test.go) pin byte-identical FindValues hits,
+// alignment scores and materialised views at shard counts {1, 2, 7,
+// GOMAXPROCS} under -race, and native fuzz targets (FuzzNormalize,
+// FuzzFindValuesEquivalence) hold scan, single-shard index and sharded
+// index to the same answer on arbitrary keywords.
+//
+// Sharding composes with the copy-on-write machinery: Clone copies only the
+// shard-pointer slice, the per-shard caches stay shared, and the first
+// AddTable into a shard after a Clone copies just that shard's table map —
+// so a registration touches only the shards its new tables hash into while
+// every published generation keeps reading frozen shards, and a lookup
+// concurrent with a registration sees either the complete pre- or
+// post-registration world across ALL shards, never a torn subset
+// (TestShardedRegistrationSnapshotIsolation). Catalog persistence is
+// shard-agnostic: a catalog saved at one shard count reloads at any other
+// with byte-identical answers and lazily rebuilt segments.
+// Benchmark{Unsharded,Sharded}{FindValues,Register,QueryExec} quantify the
+// fan-out on the 120-table synthetic catalog (CI runs the pairs once per
+// push); cmd/qbench -exp shard prints the comparison across shard counts.
+//
 // The HTTP layer (internal/server) inherits the model directly: POST
 // /query is a pure read and takes no server lock (a long registration
 // never blocks it — Benchmark{Locked,Snapshot}ContendedQuery quantifies

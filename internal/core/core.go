@@ -81,6 +81,19 @@ type Options struct {
 	// alignment as deterministic post-passes in tree-cost order). Defaults
 	// to runtime.GOMAXPROCS(0).
 	Parallelism int
+	// Shards is the number of hash partitions the catalog divides its
+	// tables into. Catalog-wide work — keyword→value lookups (FindValues),
+	// value-index segment builds, and the value-overlap pair generation of
+	// registration-time alignment — fans out one worker per shard (bounded
+	// by Parallelism) and merges with deterministic post-passes, and a
+	// registration's catalog writes touch only the shards its new tables
+	// hash into. Any shard count produces byte-identical answers (the
+	// metamorphic suites in internal/relstore/shard_test.go and
+	// internal/core/shard_test.go pin this); the knob trades parallel
+	// fan-out and write locality against per-shard overhead. Defaults to
+	// runtime.GOMAXPROCS(0). Fixed at construction: changing it requires a
+	// new Q (or a persist round-trip with different Options).
+	Shards int
 }
 
 // DefaultOptions returns the settings used throughout the paper's
@@ -95,6 +108,7 @@ func DefaultOptions() Options {
 		AssocCostThreshold:   0,
 		PreferentialBudget:   3,
 		Parallelism:          runtime.GOMAXPROCS(0),
+		Shards:               runtime.GOMAXPROCS(0),
 	}
 }
 
@@ -120,6 +134,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Parallelism <= 0 {
 		o.Parallelism = d.Parallelism
+	}
+	if o.Shards <= 0 {
+		o.Shards = d.Shards
 	}
 	return o
 }
@@ -212,7 +229,7 @@ type Q struct {
 func New(opts Options) *Q {
 	o := opts.withDefaults()
 	q := &Q{
-		Catalog: relstore.NewCatalog(),
+		Catalog: relstore.NewCatalogSharded(o.Shards),
 		Graph:   searchgraph.New(DefaultWeights()),
 		opts:    o,
 		binner:  learning.DefaultBinner(),
@@ -220,6 +237,7 @@ func New(opts Options) *Q {
 		corpus:  text.NewCorpus(),
 	}
 	q.Catalog.UseScanFindValues(o.ScanFindValues)
+	q.Catalog.SetParallelism(o.Parallelism)
 	q.publishLocked()
 	return q
 }
@@ -319,6 +337,12 @@ func (q *Q) SetParallelism(n int) {
 		n = runtime.GOMAXPROCS(0)
 	}
 	q.opts.Parallelism = n
+	// The catalog's internal per-shard fan-outs follow the same bound. Its
+	// parallelism field is read by lock-free readers, so detach the builder
+	// from the published generation before touching it (copy-on-write, like
+	// any other catalog mutation).
+	q.ownStorageLocked()
+	q.Catalog.SetParallelism(n)
 	q.publishLocked()
 }
 

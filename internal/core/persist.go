@@ -64,15 +64,20 @@ func Load(r io.Reader) (*Q, error) {
 	if s.Version != qSnapshotVersion {
 		return nil, fmt.Errorf("core: unsupported snapshot version %d", s.Version)
 	}
-	cat, err := relstore.LoadCatalog(bytes.NewReader(s.Catalog))
-	if err != nil {
-		return nil, err
-	}
 	graph, err := searchgraph.Load(bytes.NewReader(s.Graph))
 	if err != nil {
 		return nil, err
 	}
 	q := New(s.Options)
+	// Reload the catalog at the effective shard count (the wire form is
+	// shard-agnostic) and restore the knobs New applied to the catalog it is
+	// replacing; index segments rebuild lazily on first use.
+	cat, err := relstore.LoadCatalogSharded(bytes.NewReader(s.Catalog), q.opts.Shards)
+	if err != nil {
+		return nil, err
+	}
+	cat.UseScanFindValues(q.opts.ScanFindValues)
+	cat.SetParallelism(q.opts.Parallelism)
 	q.Catalog = cat
 	q.Graph = graph
 	// Rebuild the keyword corpus from the catalog (it is derived state).

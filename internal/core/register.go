@@ -326,19 +326,13 @@ func (q *Q) installEdges(m matcher.Matcher, aligns []matcher.Alignment, report *
 }
 
 // overlappingPairs returns the attribute pairs between the two relations
-// that share at least one distinct value (the content-index filter).
+// that share at least one distinct value (the content-index filter). The
+// per-attribute overlap checks fan out across the catalog's per-shard
+// parallelism bound — each check derives its value sets from the owning
+// shard's cache — with the result map merged deterministically, so the
+// filter's decisions are identical at any shard count or parallelism.
 func (q *Q) overlappingPairs(a, b *relstore.Relation) map[[2]relstore.AttrRef]bool {
-	out := make(map[[2]relstore.AttrRef]bool)
-	for _, aa := range a.Attributes {
-		ra := relstore.AttrRef{Relation: a.QualifiedName(), Attr: aa.Name}
-		for _, bb := range b.Attributes {
-			rb := relstore.AttrRef{Relation: b.QualifiedName(), Attr: bb.Name}
-			if q.Catalog.ValueOverlap(ra, rb) > 0 {
-				out[[2]relstore.AttrRef{ra, rb}] = true
-			}
-		}
-	}
-	return out
+	return q.Catalog.OverlappingAttrPairs(a, b)
 }
 
 // AlignAllPairs runs every registered matcher over every unordered pair of

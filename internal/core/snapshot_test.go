@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -225,6 +226,134 @@ func TestIndexSnapshotIsolationUnderRegistration(t *testing.T) {
 		}
 	}
 	t.Logf("concurrent lookups: %d saw the pre-registration index, %d the post-registration index", preN, postN)
+	if preN < readers || postN < readers {
+		t.Fatalf("every reader must observe both sides of the commit: pre=%d post=%d", preN, postN)
+	}
+}
+
+// TestShardedRegistrationSnapshotIsolation extends the snapshot suite to
+// the SHARDED catalog write path: a registration whose tables hash into
+// several different shards commits copy-on-write per shard, and a lookup
+// concurrent with the commit must see either the complete pre-registration
+// world or the complete post-registration world across ALL shards — never a
+// subset of the new source's tables (which is exactly what a torn
+// multi-shard publish would look like). The registering source carries the
+// probe value in three tables so a torn state is observable.
+func TestShardedRegistrationSnapshotIsolation(t *testing.T) {
+	const probe = "PUB0001"
+
+	q := fixtureQAtShards(t, 7)
+
+	// Three tables, one source, all matching the probe; their qualified
+	// names spread across the 7 shards.
+	newTables := []*relstore.Table{
+		mkTable(t, &relstore.Relation{Source: "jx", Name: "journal",
+			Attributes: []relstore.Attribute{{Name: "pub_id"}, {Name: "journal_name"}}},
+			[][]string{{"PUB0001", "Nature"}, {"PUB0002", "Science"}}),
+		mkTable(t, &relstore.Relation{Source: "jx", Name: "article",
+			Attributes: []relstore.Attribute{{Name: "pub_id"}, {Name: "headline"}}},
+			[][]string{{"PUB0001", "On Kringle domains"}}),
+		mkTable(t, &relstore.Relation{Source: "jx", Name: "review",
+			Attributes: []relstore.Attribute{{Name: "pub_id"}, {Name: "verdict"}}},
+			[][]string{{"PUB0001", "accept"}, {"PUB0003", "revise"}}),
+	}
+	// The multi-shard claim only means anything if the new tables actually
+	// land in more than one of the 7 shards, per the catalog's own
+	// partitioner.
+	shardsTouched := make(map[int]bool)
+	for _, tb := range newTables {
+		shardsTouched[q.CurrentCatalog().ShardOf(tb.Relation.QualifiedName())] = true
+	}
+	if len(shardsTouched) < 2 {
+		t.Fatalf("fixture regression: new tables all hash to one shard %v", shardsTouched)
+	}
+
+	fingerprint := func(hits []relstore.ValueHit) string { return fmt.Sprintf("%v", hits) }
+	pre := q.CurrentCatalog().FindValues(probe)
+	preFP := fingerprint(pre)
+	if len(pre) == 0 {
+		t.Fatal("probe keyword must hit the fixture catalog")
+	}
+
+	const readers = 8
+	fps := make([][]string, readers)
+	errc := make(chan error, readers+1)
+	var wg sync.WaitGroup
+	var warmed sync.WaitGroup
+	warmed.Add(readers)
+	start := make(chan struct{})
+	committed := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			<-start
+			fps[r] = append(fps[r], fingerprint(q.CurrentCatalog().FindValues(probe)))
+			warmed.Done()
+			for {
+				fps[r] = append(fps[r], fingerprint(q.CurrentCatalog().FindValues(probe)))
+				select {
+				case <-committed:
+					fps[r] = append(fps[r], fingerprint(q.CurrentCatalog().FindValues(probe)))
+					errc <- nil
+					return
+				default:
+				}
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(committed)
+		<-start
+		warmed.Wait()
+		if _, err := q.RegisterSource(newTables, Exhaustive); err != nil {
+			errc <- fmt.Errorf("writer: %v", err)
+			return
+		}
+		errc <- nil
+	}()
+	close(start)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	post := q.CurrentCatalog().FindValues(probe)
+	postFP := fingerprint(post)
+	if scanFP := fingerprint(q.CurrentCatalog().ScanFindValues(probe)); postFP != scanFP {
+		t.Fatalf("post-registration index diverges from scan\nindex: %s\nscan:  %s", postFP, scanFP)
+	}
+	newHits := 0
+	for _, h := range post {
+		if strings.HasPrefix(h.Ref.Relation, "jx.") {
+			newHits++
+		}
+	}
+	if newHits != len(newTables) {
+		t.Fatalf("post-registration world must include all %d new tables' hits, got %d: %v",
+			len(newTables), newHits, post)
+	}
+
+	preN, postN := 0, 0
+	for r := range fps {
+		for i, fp := range fps[r] {
+			switch fp {
+			case preFP:
+				preN++
+			case postFP:
+				postN++
+			default:
+				t.Fatalf("reader %d lookup %d: torn multi-shard state — neither the complete pre- nor post-registration world\ngot:  %s\npre:  %s\npost: %s",
+					r, i, fp, preFP, postFP)
+			}
+		}
+	}
+	t.Logf("concurrent lookups across %d touched shards: %d pre, %d post", len(shardsTouched), preN, postN)
 	if preN < readers || postN < readers {
 		t.Fatalf("every reader must observe both sides of the commit: pre=%d post=%d", preN, postN)
 	}

@@ -43,27 +43,34 @@ func (t *Table) Column(attr string) []string {
 	return col
 }
 
-// Catalog is the set of registered sources and their tables. It maintains
-// per-attribute distinct-value indexes (built lazily) used for value-overlap
-// filtering and MAD graph construction.
+// Catalog is the set of registered sources and their tables, internally
+// hash-partitioned into shards (see shard.go): each shard owns the tables
+// whose qualified names hash to it, its own lazily built distinct-value
+// cache and its own immutable value-index segments. Catalog-wide reads fan
+// out per shard and merge deterministically, so the shard count never
+// changes a single byte of any answer — it only controls parallelism and
+// write locality.
 //
 // Concurrency contract: the catalog is single-writer, many-reader. AddTable
 // (the only mutation of tables/order — tables themselves are immutable once
 // added) must be serialised against ALL other calls on the SAME Catalog
-// value. Q publishes catalogs copy-on-write: a writer Clones the catalog,
-// mutates the clone, and atomically swaps it into the published snapshot,
-// so concurrent queries keep reading the frozen original. Every read method
-// may be called from any number of goroutines concurrently — Q's parallel
-// branch executor depends on this. The one read path that mutates internal
-// state, the lazily built ValueSet cache, is shared across clones (tables
-// are immutable, so an attribute's value set never changes) and guarded by
-// its own mutex so concurrent readers stay race-free.
+// value, as must Clone, SetParallelism and UseScanFindValues. Q publishes
+// catalogs copy-on-write: a writer Clones the catalog, mutates the clone,
+// and atomically swaps it into the published snapshot, so concurrent
+// queries keep reading the frozen original. Every read method may be called
+// from any number of goroutines concurrently — Q's parallel branch executor
+// depends on this. The read paths that mutate internal state — the lazily
+// built per-shard ValueSet caches and value-index segment caches — are
+// shared across clones (tables are immutable, so an attribute's value set
+// and a table's segment never change) and guarded by their own per-shard
+// mutexes, so concurrent readers stay race-free.
 type Catalog struct {
-	tables map[string]*Table // by qualified relation name
-	order  []string          // insertion order of qualified names
+	shards []*catShard // hash partitions; fixed count for the catalog's lifetime
+	owned  []bool      // writer-side: shard i's table map is private to this clone
+	order  []string    // global insertion order of qualified names
 
-	values *valueCache // lazily built distinct values, shared across clones
-	index  *valueIndex // inverted value index segments, shared across clones
+	// par bounds the catalog's internal per-shard fan-outs (SetParallelism).
+	par int
 
 	// scanFind routes FindValues through the reference full-scan
 	// implementation instead of the inverted index. Writer-side: set it
@@ -71,42 +78,40 @@ type Catalog struct {
 	scanFind bool
 }
 
-// valueCache holds the lazily built per-attribute distinct-value sets. It
-// is shared between a catalog and its clones: sets are keyed by AttrRef and
-// tables are immutable once added, so a cached set stays correct in every
-// catalog generation that contains the attribute.
+// valueCache holds one shard's lazily built per-attribute distinct-value
+// sets. It is shared between a catalog and its clones: sets are keyed by
+// AttrRef and tables are immutable once added, so a cached set stays correct
+// in every catalog generation that contains the attribute.
 type valueCache struct {
 	mu   sync.RWMutex
 	sets map[AttrRef]map[string]struct{}
 }
 
-// NewCatalog returns an empty catalog.
-func NewCatalog() *Catalog {
-	return &Catalog{
-		tables: make(map[string]*Table),
-		values: &valueCache{sets: make(map[AttrRef]map[string]struct{})},
-		index:  newValueIndex(),
-	}
-}
+// NewCatalog returns an empty catalog at the default shard count
+// (runtime.GOMAXPROCS(0); see NewCatalogSharded).
+func NewCatalog() *Catalog { return NewCatalogSharded(0) }
 
-// Clone returns a copy-on-write clone: the table map and order are copied
-// (tables themselves are immutable and shared), and the value-set cache and
-// the inverted value index are shared — index segments are per-table and
-// immutable, so a clone that adds one table indexes only that table while
-// every generation keeps reading the same frozen segments. Mutating the
-// clone with AddTable leaves the original untouched, which is how Q keeps
-// published catalog snapshots frozen under concurrent readers while a
-// registration builds the next generation.
+// Clone returns a copy-on-write clone. Only the shard-pointer slice and the
+// global order are copied: each shard's table map stays physically shared
+// until the first AddTable that hashes into it (which then copies just that
+// shard — see ownShard), and the per-shard value-set and value-index caches
+// are shared outright, since cached sets and segments are per-table and
+// immutable. A registration that clones the catalog and adds tables
+// therefore touches only the shards those tables hash into, while every
+// published copy-on-write generation keeps reading the same frozen shards.
+// Mutating either the clone or the original with AddTable leaves the other
+// untouched. Writer-side: Clone must be serialised with other mutations.
 func (c *Catalog) Clone() *Catalog {
-	nt := make(map[string]*Table, len(c.tables))
-	for k, v := range c.tables {
-		nt[k] = v
+	// Both sides now share every shard: the parent too must copy-on-write
+	// before its next AddTable. Readers never touch the owned flags.
+	for i := range c.owned {
+		c.owned[i] = false
 	}
 	return &Catalog{
-		tables:   nt,
+		shards:   append([]*catShard(nil), c.shards...),
+		owned:    make([]bool, len(c.shards)),
 		order:    append([]string(nil), c.order...),
-		values:   c.values,
-		index:    c.index,
+		par:      c.par,
 		scanFind: c.scanFind,
 	}
 }
@@ -118,22 +123,26 @@ func (c *Catalog) UseScanFindValues(scan bool) { c.scanFind = scan }
 
 // AddTable registers a table. Registering a second table under the same
 // qualified relation name is an error: sources are immutable once added.
+// The write touches only the shard the table hashes into.
 func (c *Catalog) AddTable(t *Table) error {
 	qn := t.Relation.QualifiedName()
-	if _, exists := c.tables[qn]; exists {
+	si := c.shardOf(qn)
+	if _, exists := c.shards[si].tables[qn]; exists {
 		return fmt.Errorf("relstore: relation %s already registered", qn)
 	}
-	c.tables[qn] = t
+	sh := c.ownShard(si)
+	sh.tables[qn] = t
+	sh.order = append(sh.order, qn)
 	c.order = append(c.order, qn)
 	return nil
 }
 
 // Table returns the table registered under the qualified name, or nil.
-func (c *Catalog) Table(qualified string) *Table { return c.tables[qualified] }
+func (c *Catalog) Table(qualified string) *Table { return c.lookup(qualified) }
 
 // Relation returns the schema registered under the qualified name, or nil.
 func (c *Catalog) Relation(qualified string) *Relation {
-	if t := c.tables[qualified]; t != nil {
+	if t := c.lookup(qualified); t != nil {
 		return t.Relation
 	}
 	return nil
@@ -143,7 +152,7 @@ func (c *Catalog) Relation(qualified string) *Relation {
 func (c *Catalog) Relations() []*Relation {
 	out := make([]*Relation, 0, len(c.order))
 	for _, qn := range c.order {
-		out = append(out, c.tables[qn].Relation)
+		out = append(out, c.lookup(qn).Relation)
 	}
 	return out
 }
@@ -159,7 +168,7 @@ func (c *Catalog) RelationNames() []string {
 func (c *Catalog) Sources() []string {
 	set := make(map[string]struct{})
 	for _, qn := range c.order {
-		set[c.tables[qn].Relation.Source] = struct{}{}
+		set[c.lookup(qn).Relation.Source] = struct{}{}
 	}
 	out := make([]string, 0, len(set))
 	for s := range set {
@@ -174,7 +183,7 @@ func (c *Catalog) Sources() []string {
 func (c *Catalog) SourceRelations(source string) []*Relation {
 	var out []*Relation
 	for _, qn := range c.order {
-		if r := c.tables[qn].Relation; r.Source == source {
+		if r := c.lookup(qn).Relation; r.Source == source {
 			out = append(out, r)
 		}
 	}
@@ -188,25 +197,27 @@ func (c *Catalog) NumRelations() int { return len(c.order) }
 func (c *Catalog) NumAttributes() int {
 	n := 0
 	for _, qn := range c.order {
-		n += len(c.tables[qn].Relation.Attributes)
+		n += len(c.lookup(qn).Relation.Attributes)
 	}
 	return n
 }
 
 // ValueSet returns the distinct values of the referenced attribute. The set
-// is computed once and cached; callers must not mutate it. Safe for
-// concurrent use: losers of a racing first computation adopt the winner's
-// cached set, so all callers observe one canonical map per attribute. When
-// the attribute's table already has a value-index segment, the set derives
-// from the segment's distinct entries instead of re-scanning rows.
+// is computed once and cached in the owning shard; callers must not mutate
+// it. Safe for concurrent use: losers of a racing first computation adopt
+// the winner's cached set, so all callers observe one canonical map per
+// attribute. When the attribute's table already has a value-index segment,
+// the set derives from the segment's distinct entries instead of
+// re-scanning rows.
 func (c *Catalog) ValueSet(ref AttrRef) map[string]struct{} {
-	c.values.mu.RLock()
-	vs, ok := c.values.sets[ref]
-	c.values.mu.RUnlock()
+	sh := c.shardFor(ref.Relation)
+	sh.values.mu.RLock()
+	vs, ok := sh.values.sets[ref]
+	sh.values.mu.RUnlock()
 	if ok {
 		return vs
 	}
-	t := c.tables[ref.Relation]
+	t := sh.tables[ref.Relation]
 	if t == nil {
 		return nil
 	}
@@ -214,7 +225,7 @@ func (c *Catalog) ValueSet(ref AttrRef) map[string]struct{} {
 	if i < 0 {
 		return nil
 	}
-	if seg := c.index.built(t); seg != nil {
+	if seg := sh.index.built(t); seg != nil {
 		vs = seg.valueSet(i)
 	} else {
 		vs = make(map[string]struct{})
@@ -224,13 +235,13 @@ func (c *Catalog) ValueSet(ref AttrRef) map[string]struct{} {
 			}
 		}
 	}
-	c.values.mu.Lock()
-	if won, ok := c.values.sets[ref]; ok {
+	sh.values.mu.Lock()
+	if won, ok := sh.values.sets[ref]; ok {
 		vs = won
 	} else {
-		c.values.sets[ref] = vs
+		sh.values.sets[ref] = vs
 	}
-	c.values.mu.Unlock()
+	sh.values.mu.Unlock()
 	return vs
 }
 
@@ -270,9 +281,10 @@ type ValueHit struct {
 // expansion uses this to lazily materialise value nodes for each keyword
 // (paper §2.2). Results are deterministic: sorted by attribute then value.
 //
-// By default it answers from the inverted value index (valueindex.go);
-// UseScanFindValues(true) routes it through the reference full scan
-// instead. Both implementations return byte-identical results.
+// By default it answers from the inverted value index (valueindex.go),
+// fanning one worker per shard; UseScanFindValues(true) routes it through
+// the reference full scan instead. Both implementations — and every shard
+// count — return byte-identical results.
 func (c *Catalog) FindValues(keyword string) []ValueHit {
 	if c.scanFind {
 		return c.ScanFindValues(keyword)
@@ -283,8 +295,8 @@ func (c *Catalog) FindValues(keyword string) []ValueHit {
 // ScanFindValues is the reference FindValues implementation: a full scan of
 // every row of every table, normalising each value per keyword. It is kept
 // as the executable specification the index is verified against (the
-// metamorphic suite in valueindex_test.go) and as the implementation behind
-// UseScanFindValues.
+// metamorphic suites in valueindex_test.go and shard_test.go) and as the
+// implementation behind UseScanFindValues.
 func (c *Catalog) ScanFindValues(keyword string) []ValueHit {
 	kw := text.Normalize(keyword)
 	if kw == "" {
@@ -292,7 +304,7 @@ func (c *Catalog) ScanFindValues(keyword string) []ValueHit {
 	}
 	var hits []ValueHit
 	for _, qn := range c.order {
-		t := c.tables[qn]
+		t := c.lookup(qn)
 		for ai, attr := range t.Relation.Attributes {
 			counts := make(map[string]int)
 			for _, row := range t.Rows {
@@ -322,7 +334,7 @@ func (c *Catalog) ScanFindValues(keyword string) []ValueHit {
 func (c *Catalog) AttrRefs() []AttrRef {
 	var out []AttrRef
 	for _, qn := range c.order {
-		for _, a := range c.tables[qn].Relation.Attributes {
+		for _, a := range c.lookup(qn).Relation.Attributes {
 			out = append(out, AttrRef{Relation: qn, Attr: a.Name})
 		}
 	}

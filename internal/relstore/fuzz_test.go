@@ -1,0 +1,65 @@
+package relstore
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// FuzzFindValuesEquivalence fuzzes the keyword side of the FindValues
+// contract: for an ARBITRARY utf-8 (or invalid-utf-8) keyword, the
+// reference full scan, the single-shard inverted index and the multi-shard
+// inverted index must return deep-equal hits — content, row counts, order
+// and nil-ness. The catalogs are fixed (built once, read-only), so the fuzz
+// workers exercise the concurrent read paths too. CI runs this as a short
+// -fuzz smoke on every push.
+
+var (
+	fuzzOnce sync.Once
+	fuzzScan *Catalog // answers via ScanFindValues (1 shard)
+	fuzzIdx1 *Catalog // single-shard index
+	fuzzIdx7 *Catalog // multi-shard index, parallel fan
+)
+
+func fuzzCatalogs() (*Catalog, *Catalog, *Catalog) {
+	fuzzOnce.Do(func() {
+		tables := randomIndexTables(rand.New(rand.NewSource(2024)), 16)
+		build := func(shards int) *Catalog {
+			c := NewCatalogSharded(shards)
+			c.SetParallelism(4)
+			for _, tb := range tables {
+				if err := c.AddTable(tb); err != nil {
+					panic(err)
+				}
+			}
+			c.BuildValueIndex(4)
+			return c
+		}
+		fuzzScan = build(1)
+		fuzzIdx1 = build(1)
+		fuzzIdx7 = build(7)
+	})
+	return fuzzScan, fuzzIdx1, fuzzIdx7
+}
+
+func FuzzFindValuesEquivalence(f *testing.F) {
+	for _, kw := range []string{
+		"", " ", "membrane", "MEMBRANE", "plasma membrane", "GO:0005886",
+		"ab", "é", "東京", "βeta", "ngström", "005886", "kringle domain",
+		"no-such-keyword-zzqqx", "a b c", "\x00", "\xff\xfe invalid",
+		"𝔘nicode", "É̃ composed",
+	} {
+		f.Add(kw)
+	}
+	f.Fuzz(func(t *testing.T, kw string) {
+		scanCat, idx1, idx7 := fuzzCatalogs()
+		want := scanCat.ScanFindValues(kw)
+		if got := idx1.IndexFindValues(kw); !reflect.DeepEqual(got, want) {
+			t.Errorf("single-shard index diverged from scan on %q\nindex: %v\nscan:  %v", kw, got, want)
+		}
+		if got := idx7.IndexFindValues(kw); !reflect.DeepEqual(got, want) {
+			t.Errorf("sharded index diverged from scan on %q\nindex: %v\nscan:  %v", kw, got, want)
+		}
+	})
+}

@@ -27,7 +27,7 @@ const catalogSnapshotVersion = 1
 func (c *Catalog) Save(w io.Writer) error {
 	s := catalogSnapshot{Version: catalogSnapshotVersion}
 	for _, qn := range c.order {
-		t := c.tables[qn]
+		t := c.lookup(qn)
 		s.Tables = append(s.Tables, tableSnap{
 			Source:      t.Relation.Source,
 			Name:        t.Relation.Name,
@@ -39,10 +39,17 @@ func (c *Catalog) Save(w io.Writer) error {
 	return json.NewEncoder(w).Encode(s)
 }
 
-// LoadCatalog reconstructs a catalog saved with Save. Tables are validated
-// on the way in, so a corrupted snapshot fails loudly rather than producing
-// a half-loaded catalog.
-func LoadCatalog(r io.Reader) (*Catalog, error) {
+// LoadCatalog reconstructs a catalog saved with Save, at the default shard
+// count. Tables are validated on the way in, so a corrupted snapshot fails
+// loudly rather than producing a half-loaded catalog.
+func LoadCatalog(r io.Reader) (*Catalog, error) { return LoadCatalogSharded(r, 0) }
+
+// LoadCatalogSharded is LoadCatalog with an explicit shard count (<= 0 means
+// the default). The wire form is shard-agnostic — tables are hash-partitioned
+// afresh on the way in — so a catalog saved at any shard count reloads at any
+// other with byte-identical answers; value-index segments are rebuilt lazily
+// on first use, exactly as for a freshly built catalog.
+func LoadCatalogSharded(r io.Reader, shards int) (*Catalog, error) {
 	var s catalogSnapshot
 	if err := json.NewDecoder(r).Decode(&s); err != nil {
 		return nil, fmt.Errorf("relstore: load catalog: %w", err)
@@ -50,7 +57,7 @@ func LoadCatalog(r io.Reader) (*Catalog, error) {
 	if s.Version != catalogSnapshotVersion {
 		return nil, fmt.Errorf("relstore: unsupported catalog snapshot version %d", s.Version)
 	}
-	c := NewCatalog()
+	c := NewCatalogSharded(shards)
 	for i, ts := range s.Tables {
 		rel := &Relation{
 			Source:      ts.Source,

@@ -65,9 +65,9 @@ type segment struct {
 	tokens    map[string][]int32 // normalised-value whole token -> sorted entry ids
 }
 
-// valueIndex is the catalog-wide segment cache, shared between a catalog
-// and its clones (see Catalog.Clone): segments are keyed by table identity
-// and tables are immutable, so a segment stays correct in every catalog
+// valueIndex is one shard's segment cache, shared between a catalog and its
+// clones (see Catalog.Clone): segments are keyed by table identity and
+// tables are immutable, so a segment stays correct in every catalog
 // generation that contains its table.
 type valueIndex struct {
 	mu   sync.RWMutex
@@ -302,89 +302,92 @@ func (s *segment) valueSet(attrIdx int) map[string]struct{} {
 	return vs
 }
 
-// sortHits puts hits into the canonical FindValues order: by attribute
-// reference, then value. Both FindValues implementations share it, so the
-// two are byte-identical including ordering.
+// sortHits puts hits into the canonical FindValues order: by relation, then
+// attribute, then value. The comparison is field-wise — Ref.String() is not
+// injective (a relation name may itself contain dots), and a non-total
+// comparator would let sort.Slice leave ties in input order, which now
+// varies with the shard count. Both FindValues implementations share this
+// total order, so the two are byte-identical — across shard counts too.
 func sortHits(hits []ValueHit) {
 	sort.Slice(hits, func(i, j int) bool {
-		if hits[i].Ref != hits[j].Ref {
-			return hits[i].Ref.String() < hits[j].Ref.String()
+		a, b := hits[i], hits[j]
+		if a.Ref.Relation != b.Ref.Relation {
+			return a.Ref.Relation < b.Ref.Relation
 		}
-		return hits[i].Value < hits[j].Value
+		if a.Ref.Attr != b.Ref.Attr {
+			return a.Ref.Attr < b.Ref.Attr
+		}
+		return a.Value < b.Value
 	})
 }
 
-// IndexFindValues answers FindValues from the inverted value index,
-// building any missing table segments on the way (each table indexes
-// exactly once; registrations therefore only ever index their own new
-// tables). Results are identical to ScanFindValues in content and order.
+// IndexFindValues answers FindValues from the inverted value index, fanning
+// one worker per shard (bounded by the catalog's parallelism) and building
+// any missing table segments on the way (each table indexes exactly once;
+// registrations therefore only ever index their own new tables). Per-shard
+// hits are merged under the canonical (attribute, value) total order, so
+// results are identical to ScanFindValues — and across every shard count —
+// in content and order.
 func (c *Catalog) IndexFindValues(keyword string) []ValueHit {
 	kw := text.Normalize(keyword)
 	if kw == "" {
 		return nil
 	}
 	trigrams := keywordTrigrams(kw)
+	perShard := make([][]ValueHit, len(c.shards))
+	c.fanShards(func(si int) {
+		sh := c.shards[si]
+		var hits []ValueHit
+		for _, qn := range sh.order {
+			hits = sh.index.segmentFor(sh.tables[qn]).find(kw, trigrams, hits)
+		}
+		perShard[si] = hits
+	})
 	var hits []ValueHit
-	for _, qn := range c.order {
-		t := c.tables[qn]
-		hits = c.index.segmentFor(t).find(kw, trigrams, hits)
+	for _, sh := range perShard {
+		hits = append(hits, sh...)
 	}
 	sortHits(hits)
 	return hits
 }
 
 // EnsureIndexed builds the value-index segment for one relation if it is
-// missing. It is the unit of incremental index maintenance: callers
-// registering new tables fan EnsureIndexed over their worker pool (one
-// shard per table) instead of rebuilding anything global.
+// missing, in the shard the relation hashes into. It is the unit of
+// incremental index maintenance: callers registering new tables fan
+// EnsureIndexed over their worker pool (one task per table) instead of
+// rebuilding anything global.
 func (c *Catalog) EnsureIndexed(qualified string) {
-	if t := c.tables[qualified]; t != nil {
-		c.index.segmentFor(t)
+	sh := c.shardFor(qualified)
+	if t := sh.tables[qualified]; t != nil {
+		sh.index.segmentFor(t)
 	}
 }
 
-// BuildValueIndex builds every missing table segment, fanning across at
-// most workers goroutines (workers <= 1 builds serially). Tools and
-// benchmarks use it to pre-warm the index; query paths build lazily.
+// BuildValueIndex builds every missing table segment, fanning one worker
+// per shard across at most workers goroutines (workers <= 1 builds
+// serially). Tools and benchmarks use it to pre-warm the index; query paths
+// build lazily.
 func (c *Catalog) BuildValueIndex(workers int) {
-	n := len(c.order)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for _, qn := range c.order {
-			c.EnsureIndexed(qn)
+	fanIndexed(len(c.shards), workers, func(si int) {
+		sh := c.shards[si]
+		for _, qn := range sh.order {
+			sh.index.segmentFor(sh.tables[qn])
 		}
-		return
-	}
-	var wg sync.WaitGroup
-	work := make(chan string)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for qn := range work {
-				c.EnsureIndexed(qn)
-			}
-		}()
-	}
-	for _, qn := range c.order {
-		work <- qn
-	}
-	close(work)
-	wg.Wait()
+	})
 }
 
 // IndexedRelations reports how many of the catalog's relations currently
 // have a built index segment (for tests and stats).
 func (c *Catalog) IndexedRelations() int {
-	c.index.mu.RLock()
-	defer c.index.mu.RUnlock()
 	n := 0
-	for _, qn := range c.order {
-		if _, ok := c.index.segs[c.tables[qn]]; ok {
-			n++
+	for _, sh := range c.shards {
+		sh.index.mu.RLock()
+		for _, qn := range sh.order {
+			if _, ok := sh.index.segs[sh.tables[qn]]; ok {
+				n++
+			}
 		}
+		sh.index.mu.RUnlock()
 	}
 	return n
 }

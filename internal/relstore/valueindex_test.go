@@ -31,13 +31,17 @@ var indexVocab = []string{
 	"PUB0001", "pub0001x", "xPUB0001", "entry_ac", "entry ac",
 }
 
-// randomIndexCatalog builds a catalog of random tables whose values are
-// drawn from indexVocab (sometimes empty, sometimes random composites), so
-// keyword hits land across tables and attributes.
-func randomIndexCatalog(t *testing.T, r *rand.Rand) *Catalog {
-	t.Helper()
-	c := NewCatalog()
-	nTables := 1 + r.Intn(4)
+// randomIndexTables builds random tables whose values are drawn from
+// indexVocab (sometimes empty, sometimes random composites), so keyword
+// hits land across tables and attributes. It panics on construction errors
+// (test-only code; the fuzz targets reuse it without a testing.T). minTables
+// lets the shard suite force catalogs wide enough to span many shards.
+func randomIndexTables(r *rand.Rand, minTables int) []*Table {
+	var out []*Table
+	nTables := minTables + r.Intn(4)
+	if nTables < 1 {
+		nTables = 1
+	}
 	for ti := 0; ti < nTables; ti++ {
 		nAttr := 1 + r.Intn(4)
 		attrs := make([]Attribute, nAttr)
@@ -68,8 +72,19 @@ func randomIndexCatalog(t *testing.T, r *rand.Rand) *Catalog {
 		}
 		tb, err := NewTable(rel, rows)
 		if err != nil {
-			t.Fatal(err)
+			panic(err)
 		}
+		out = append(out, tb)
+	}
+	return out
+}
+
+// randomIndexCatalog builds a catalog over randomIndexTables at the default
+// shard count.
+func randomIndexCatalog(t *testing.T, r *rand.Rand) *Catalog {
+	t.Helper()
+	c := NewCatalog()
+	for _, tb := range randomIndexTables(r, 1) {
 		if err := c.AddTable(tb); err != nil {
 			t.Fatal(err)
 		}

@@ -11,6 +11,7 @@ package qint
 
 import (
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sync"
 	"testing"
@@ -529,6 +530,131 @@ func benchShardQueryExec(b *testing.B, shards, workers int) {
 func BenchmarkUnshardedQueryExec(b *testing.B) { benchShardQueryExec(b, 1, 1) }
 func BenchmarkShardedQueryExec(b *testing.B) {
 	benchShardQueryExec(b, 0, runtime.GOMAXPROCS(0))
+}
+
+// --- Query-cache benchmarks --------------------------------------------------
+//
+// The serving-layer tentpole: repeated keyword traffic against an unchanged
+// catalog is the shape of production load — few hot queries, many users — so
+// the workload is a Zipfian stream over the GBCO trial queries. Cold runs
+// with the epoch-keyed cache disabled (every query pays the full pipeline),
+// Warm with the cache enabled and pre-warmed (the steady serving state), and
+// Coalesced fires 8 concurrent identical queries at a freshly published
+// epoch (the thundering-herd case: the singleflight layer computes once and
+// shares). The metamorphic suite (internal/core/cache_test.go) proves every
+// cached answer byte-identical to the cold engine at the same epoch; this
+// trio proves the speedup is real. CI runs all three once per push;
+// cmd/qbench -exp cache prints hit-rate/latency sweeps standalone.
+
+// zipfQueryStream is a deterministic Zipfian stream over the distinct GBCO
+// trial queries (exponent s, seed-fixed).
+func zipfQueryStream(n int, s float64, seed int64, queries []string) []string {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, uint64(len(queries)-1))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = queries[z.Uint64()]
+	}
+	return out
+}
+
+// benchCacheSetup builds a GBCO-backed Q (cache on or off) plus the
+// Zipfian workload shared by the cold/warm pair.
+func benchCacheSetup(b *testing.B, disableCache bool) (*core.Q, []string) {
+	b.Helper()
+	corpus := datasets.GBCO()
+	opts := core.DefaultOptions()
+	opts.QueryCacheDisabled = disableCache
+	q := core.New(opts)
+	q.AddMatcher(meta.New())
+	if err := q.AddTables(corpus.Tables...); err != nil {
+		b.Fatal(err)
+	}
+	queries := make([]string, len(corpus.Trials))
+	for i, tr := range corpus.Trials {
+		queries[i] = tr.Keywords
+	}
+	return q, zipfQueryStream(256, 1.3, 42, queries)
+}
+
+func benchCacheStream(b *testing.B, q *core.Q, stream []string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		v, err := q.Query(stream[i%len(stream)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		q.DropView(v)
+	}
+}
+
+func BenchmarkColdQuery(b *testing.B) {
+	q, stream := benchCacheSetup(b, true)
+	b.ResetTimer()
+	benchCacheStream(b, q, stream)
+}
+
+func BenchmarkWarmQuery(b *testing.B) {
+	q, stream := benchCacheSetup(b, false)
+	// Pre-warm: one pass over the distinct queries, so the timed loop
+	// measures the steady serving state (hits), even at -benchtime=1x.
+	seen := make(map[string]bool)
+	for _, query := range stream {
+		if seen[query] {
+			continue
+		}
+		seen[query] = true
+		v, err := q.Query(query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		q.DropView(v)
+	}
+	b.ResetTimer()
+	benchCacheStream(b, q, stream)
+}
+
+// BenchmarkCoalescedQuery times a thundering herd: 8 goroutines issue the
+// SAME query concurrently against a generation none of them has cached (a
+// cheap no-op write publishes a fresh epoch before each burst, untimed).
+// The singleflight layer must collapse the burst into ~one pipeline run;
+// compare against 8x the cold per-query time.
+func BenchmarkCoalescedQuery(b *testing.B) {
+	q, stream := benchCacheSetup(b, false)
+	const herd = 8
+	par := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		// Toggling the published parallelism bumps the epoch without touching
+		// any data, so the herd's key is cold every iteration.
+		q.SetParallelism(par + 1 + i%2)
+		b.StartTimer()
+		var wg sync.WaitGroup
+		errs := make(chan error, herd)
+		for g := 0; g < herd; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				v, err := q.Query(stream[0])
+				if err != nil {
+					errs <- err
+					return
+				}
+				q.DropView(v)
+			}()
+		}
+		wg.Wait()
+		b.StopTimer()
+		close(errs)
+		for err := range errs {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	if s := q.CacheStats(); b.N > 1 && s.Materialization.Coalesced == 0 {
+		b.Fatal("no coalescing observed across herd bursts")
+	}
 }
 
 // BenchmarkRegisterSource measures one new-source registration under each

@@ -3,7 +3,7 @@
 // reports. Use -exp to run a single experiment.
 //
 //	qbench            # run everything
-//	qbench -exp fig7  # one of: table1 fig6 fig7 fig8 fig10 fig11 fig12 table2 ablation propagation parallel snapshot valueindex shard
+//	qbench -exp fig7  # one of: table1 fig6 fig7 fig8 fig10 fig11 fig12 table2 ablation propagation parallel snapshot valueindex shard cache
 package main
 
 import (
@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig6, fig7, fig8, table1, fig10, fig11, fig12, table2, ablation, parallel, snapshot, valueindex, shard")
+	exp := flag.String("exp", "all", "experiment to run: all, fig6, fig7, fig8, table1, fig10, fig11, fig12, table2, ablation, parallel, snapshot, valueindex, shard, cache")
 	flag.Parse()
 
 	runners := []struct {
@@ -45,6 +45,7 @@ func main() {
 		{"snapshot", snapshot},
 		{"valueindex", valueindex},
 		{"shard", shard},
+		{"cache", cache},
 	}
 	ran := false
 	for _, r := range runners {
@@ -270,6 +271,25 @@ func shard() error {
 	for _, r := range rows {
 		fmt.Printf("%-8d %-8d %12v %12v %14v %12v\n",
 			r.Shards, r.Tables, r.BuildTime, r.FindMean, r.RegTime, r.ExecTime)
+	}
+	return nil
+}
+
+// cache measures the serving-layer query cache on Zipfian repeated-query
+// traffic across skews — the standalone counterpart of
+// Benchmark{Cold,Warm,Coalesced}Query. Every row's cached answers are
+// verified byte-identical to the cold engine before anything is timed.
+func cache() error {
+	rows, err := eval.RunCache()
+	if err != nil {
+		return err
+	}
+	header("Query cache: mean latency on a Zipfian repeated-query stream, cold vs epoch-keyed cache")
+	fmt.Printf("%-6s %-8s %-9s %9s %12s %12s %10s\n",
+		"Skew", "Queries", "Distinct", "Hit rate", "Cold/query", "Warm/query", "Speedup")
+	for _, r := range rows {
+		fmt.Printf("%-6.1f %-8d %-9d %8.1f%% %12v %12v %9.1fx\n",
+			r.Skew, r.Queries, r.Distinct, 100*r.HitRate, r.ColdMean, r.WarmMean, r.Speedup)
 	}
 	return nil
 }

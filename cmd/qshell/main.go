@@ -17,6 +17,7 @@
 //	assoc                list association edges with current costs
 //	neighborhood         relations in the current view's α-neighbourhood
 //	stats                graph and catalog statistics
+//	:stats               engine + query-cache counters
 //	help                 this text
 //	quit                 exit
 package main
@@ -252,6 +253,24 @@ func main() {
 			for kind, n := range s.ByEdgeKind {
 				fmt.Printf("  %-12s %d edges\n", kind, n)
 			}
+		case ":stats":
+			// Engine + serving-layer counters: the epoch identifies the
+			// published generation every cache entry is keyed by.
+			fmt.Printf("epoch: %d   views: %d\n", q.Epoch(), len(q.Views()))
+			fmt.Printf("alignment work: %d matcher calls, %d attr comparisons (%d unfiltered)\n",
+				q.Stats.BaseMatcherCalls(), q.Stats.AttrComparisons(), q.Stats.ColumnComparisonsUnfiltered())
+			cs := q.CacheStats()
+			if !cs.Enabled {
+				fmt.Println("query cache: disabled")
+				continue
+			}
+			fmt.Println("query cache:")
+			printCache := func(name string, c core.CacheCounters) {
+				fmt.Printf("  %-16s hits=%-8d misses=%-6d computes=%-6d coalesced=%-5d evictions=%-5d entries=%-5d live-epochs=%d\n",
+					name, c.Hits, c.Misses, c.Computes, c.Coalesced, c.Evictions, c.Entries, c.LiveEpochs)
+			}
+			printCache("expansion", cs.Expansion)
+			printCache("materialization", cs.Materialization)
 		default:
 			fmt.Printf("unknown command %q; try help\n", cmd)
 		}
@@ -299,6 +318,8 @@ func printHelp() {
   save <file>        snapshot the instance (catalog+graph+views)
   load <file>        restore a snapshot
   stats              catalog / graph statistics
+  :stats             engine + query-cache counters (hits, misses,
+                     coalesced, evictions, live epochs)
   quit               exit
 `)
 }

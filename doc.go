@@ -115,10 +115,47 @@
 // fan-out on the 120-table synthetic catalog (CI runs the pairs once per
 // push); cmd/qbench -exp shard prints the comparison across shard counts.
 //
+// # Query cache and request coalescing
+//
+// A serving layer (internal/qcache) sits between the HTTP server and the
+// engine, built on the observation that the snapshot machinery above makes
+// caching trivially correct: every published generation is immutable and
+// epoch-stamped, so any result computed at epoch e is a pure function of
+// (e, key) and a cache entry keyed by epoch NEVER needs invalidation — a
+// registration or feedback write publishes a new epoch, under which every
+// lookup misses, and dead-epoch entries age out (the sharded LRU's
+// eviction prefers entries from superseded epochs). Two computations are
+// memoised: keyword expansion (the scored, truncated keyword→value matches
+// of one keyword, keyed by (epoch, normalised keyword) — valid because
+// FindValues and the similarity scoring both normalise first) and full
+// view materialisation (trees, conjunctive queries, ranked result and α,
+// keyed by (epoch, keyword sequence, k, options fingerprint); views
+// sharing a key share one immutable materialisation, including across a
+// Refresh fan-out). A singleflight layer coalesces N concurrent identical
+// misses into one pipeline run — a thundering herd on a cold key costs
+// one computation, not N.
+//
+// Cached answers are byte-identical to the uncached path at every epoch:
+// the metamorphic suite in internal/core/cache_test.go drives a cached and
+// a cold engine through the same randomised query/registration/feedback
+// stream in lockstep under -race and compares every view byte-for-byte,
+// and caching is gated to PUBLISHED generations only (registration's
+// unpublished interim states bypass it). Options.QueryCacheDisabled,
+// ExpansionCacheEntries and MaterializationCacheEntries are the knobs;
+// Q.CacheStats exposes hits/misses/computes/coalesced/evictions/live
+// epochs. Benchmark{Cold,Warm,Coalesced}Query quantify the win on a
+// Zipfian repeated-query workload (CI runs the trio once per push);
+// cmd/qbench -exp cache prints the hit-rate/latency sweep across skews.
+//
 // The HTTP layer (internal/server) inherits the model directly: POST
 // /query is a pure read and takes no server lock (a long registration
 // never blocks it — Benchmark{Locked,Snapshot}ContendedQuery quantifies
 // the difference and CI runs the pair on every push); POST /sources and
 // feedback serialise inside Q; the server's own mutex guards only the
-// id↔view registry.
+// id↔view registry. Answer-carrying responses (POST /query,
+// GET /views/{id}, the feedback echo) carry an X-Q-Epoch header naming the
+// published generation the answers were computed at, so HTTP clients can
+// run their own epoch-keyed caches on the same no-invalidation contract —
+// identical queries at the same epoch are byte-identical, and a higher
+// epoch signals a published write. GET /stats reports the cache counters.
 package qint

@@ -1,0 +1,370 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"qint/internal/matcher/meta"
+	"qint/internal/relstore"
+)
+
+// The metamorphic property of the serving-layer cache: an engine with the
+// epoch-keyed query cache enabled must produce answers BYTE-IDENTICAL to a
+// cold engine at the same epoch — for every query, at every point of a
+// randomised stream of queries, registrations and feedback. The cache is
+// pure memoisation over immutable generations; if any answer ever
+// diverges, the epoch-keying argument (no invalidation needed) is broken.
+
+// cachePair builds two identically constructed engines over the fixture
+// corpus: one with the default (enabled) cache, one cold.
+func cachePair(t *testing.T) (cached, cold *Q) {
+	t.Helper()
+	build := func(disable bool) *Q {
+		opts := DefaultOptions()
+		opts.QueryCacheDisabled = disable
+		q := New(opts)
+		q.AddMatcher(meta.New())
+		if err := q.AddTables(fixtureTables(t)...); err != nil {
+			t.Fatal(err)
+		}
+		q.AddHandCodedAssociation(
+			relstore.AttrRef{Relation: "go.term", Attr: "acc"},
+			relstore.AttrRef{Relation: "ip.interpro2go", Attr: "go_id"})
+		return q
+	}
+	return build(false), build(true)
+}
+
+// cacheQueryPool is the randomised stream's query vocabulary: a small hot
+// set (the shape of production traffic), so repeats — and therefore cache
+// hits — are guaranteed.
+var cacheQueryPool = []string{
+	"'plasma membrane' term",
+	"term 'plasma membrane'", // reversed order: must key separately
+	"'Kringle domain' entry",
+	"name 'nucleus'",
+	"'IPR000001' 'GO:0000001'",
+	"entry pub title",
+	"'Zinc finger' pub_id",
+}
+
+// cacheRegSource builds the step'th synthetic registration source, with
+// pub_id overlap into the fixture so alignment finds real targets.
+func cacheRegSource(t *testing.T, step int) []*relstore.Table {
+	t.Helper()
+	rel := &relstore.Relation{Source: fmt.Sprintf("reg%d", step), Name: "data",
+		Attributes: []relstore.Attribute{{Name: "pub_id"}, {Name: "label"}}}
+	return []*relstore.Table{mkTable(t, rel, [][]string{
+		{fmt.Sprintf("PUB%04d", 1+step%6), fmt.Sprintf("label %d", step)},
+		{"PUB0002", "shared"},
+	})}
+}
+
+// TestCachedVsUncachedMetamorphic drives both engines through the same
+// randomised operation stream in lockstep and asserts, after every single
+// operation, that epochs agree and every live view is byte-identical
+// between the cached and the cold engine.
+func TestCachedVsUncachedMetamorphic(t *testing.T) {
+	cached, cold := cachePair(t)
+	rng := rand.New(rand.NewSource(7))
+
+	compareAllViews := func(step int) {
+		t.Helper()
+		if ce, ke := cached.Epoch(), cold.Epoch(); ce != ke {
+			t.Fatalf("step %d: epochs diverged: cached=%d cold=%d", step, ce, ke)
+		}
+		cv, kv := cached.Views(), cold.Views()
+		if len(cv) != len(kv) {
+			t.Fatalf("step %d: view registries diverged: %d vs %d", step, len(cv), len(kv))
+		}
+		for i := range cv {
+			if got, want := fingerprintView(cv[i]), fingerprintView(kv[i]); got != want {
+				t.Fatalf("step %d: view %d diverged at epoch %d:\ncached:\n%s\ncold:\n%s",
+					step, i, cached.Epoch(), got, want)
+			}
+		}
+	}
+
+	strategies := []AlignStrategy{Exhaustive, ViewBased, Preferential}
+	for step := 0; step < 48; step++ {
+		switch op := rng.Intn(10); {
+		case op < 6: // query (hot pool, repeats likely)
+			query := cacheQueryPool[rng.Intn(len(cacheQueryPool))]
+			v1, err1 := cached.Query(query)
+			v2, err2 := cold.Query(query)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("step %d: query %q error mismatch: cached=%v cold=%v", step, query, err1, err2)
+			}
+			if err1 != nil {
+				continue
+			}
+			if v1.Epoch() != v2.Epoch() {
+				t.Fatalf("step %d: query %q epoch mismatch: %d vs %d", step, query, v1.Epoch(), v2.Epoch())
+			}
+			if got, want := fingerprintView(v1), fingerprintView(v2); got != want {
+				t.Fatalf("step %d: query %q diverged at epoch %d:\ncached:\n%s\ncold:\n%s",
+					step, query, v1.Epoch(), got, want)
+			}
+		case op < 8: // registration (new epoch; old cache entries must go cold)
+			strat := strategies[rng.Intn(len(strategies))]
+			src := cacheRegSource(t, step)
+			if _, err := cached.RegisterSource(src, strat); err != nil {
+				t.Fatalf("step %d: cached register: %v", step, err)
+			}
+			if _, err := cold.RegisterSource(cacheRegSource(t, step), strat); err != nil {
+				t.Fatalf("step %d: cold register: %v", step, err)
+			}
+			compareAllViews(step)
+		default: // feedback (weight update; every view refreshes)
+			views := cold.Views()
+			if len(views) == 0 {
+				continue
+			}
+			vi := rng.Intn(len(views))
+			rows := views[vi].Current().Result
+			if rows == nil || len(rows.Rows) == 0 {
+				continue
+			}
+			row := rng.Intn(len(rows.Rows))
+			kind := FeedbackValid
+			if rng.Intn(2) == 1 {
+				kind = FeedbackInvalid
+			}
+			if err := cached.FeedbackRow(cached.Views()[vi], row, kind); err != nil {
+				t.Fatalf("step %d: cached feedback: %v", step, err)
+			}
+			if err := cold.FeedbackRow(views[vi], row, kind); err != nil {
+				t.Fatalf("step %d: cold feedback: %v", step, err)
+			}
+			compareAllViews(step)
+		}
+	}
+
+	// Sanity: the equivalence above must actually have exercised the cache.
+	cs := cached.CacheStats()
+	if !cs.Enabled || cs.Materialization.Hits == 0 || cs.Expansion.Hits == 0 {
+		t.Fatalf("cache barely exercised: %+v", cs)
+	}
+	if zero := cold.CacheStats(); zero.Enabled {
+		t.Fatal("cold engine unexpectedly has a cache")
+	}
+}
+
+// TestCachedQueriesUnderConcurrentWrites is the -race half: queriers
+// hammer both engines while a writer registers sources in lockstep.
+// Answers are recorded keyed by (query, epoch) — the same op sequence
+// produces the same generation content at every epoch in both engines, so
+// any (query, epoch) observed by both must be byte-identical, and any
+// (query, epoch) observed twice within one engine (hit vs compute, or a
+// racing recompute) must be identical too.
+func TestCachedQueriesUnderConcurrentWrites(t *testing.T) {
+	cached, cold := cachePair(t)
+	engines := []*Q{cached, cold}
+
+	type record struct {
+		mu  sync.Mutex
+		fps map[string]string // "epoch|query" -> fingerprint
+	}
+	recs := [2]*record{{fps: map[string]string{}}, {fps: map[string]string{}}}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for ei, q := range engines {
+		for g := 0; g < 3; g++ {
+			wg.Add(1)
+			go func(ei, g int, q *Q) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(100*ei + g)))
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					query := cacheQueryPool[rng.Intn(len(cacheQueryPool))]
+					v, err := q.Query(query)
+					if err != nil {
+						t.Errorf("engine %d: query %q: %v", ei, query, err)
+						return
+					}
+					key := fmt.Sprintf("%d|%s", v.Epoch(), query)
+					fp := fingerprintView(v)
+					q.DropView(v) // keep the refresh fan-out bounded
+					r := recs[ei]
+					r.mu.Lock()
+					if prev, ok := r.fps[key]; ok && prev != fp {
+						r.mu.Unlock()
+						t.Errorf("engine %d: %s answered two different results at one epoch", ei, key)
+						return
+					}
+					r.fps[key] = fp
+					r.mu.Unlock()
+				}
+			}(ei, g, q)
+		}
+	}
+
+	// Lockstep writer: same registrations, same order, on both engines.
+	// Exhaustive keeps registration independent of the (racy) view registry.
+	for step := 0; step < 5; step++ {
+		for _, q := range engines {
+			if _, err := q.RegisterSource(cacheRegSource(t, step), Exhaustive); err != nil {
+				t.Fatalf("step %d: register: %v", step, err)
+			}
+		}
+		time.Sleep(20 * time.Millisecond) // let queriers straddle epochs
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Cross-engine: every (epoch, query) both engines observed must match.
+	overlap := 0
+	for key, fp := range recs[0].fps {
+		if other, ok := recs[1].fps[key]; ok {
+			overlap++
+			if other != fp {
+				t.Errorf("cached and cold diverged at %s:\ncached:\n%s\ncold:\n%s", key, fp, other)
+			}
+		}
+	}
+	if overlap == 0 {
+		t.Fatal("no (epoch, query) observed by both engines — the comparison never engaged")
+	}
+
+	// Quiesced final sweep: both engines at the same final epoch must agree
+	// on the whole pool.
+	for _, query := range cacheQueryPool {
+		v1, err1 := cached.Query(query)
+		v2, err2 := cold.Query(query)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("final sweep %q: %v / %v", query, err1, err2)
+		}
+		if fingerprintView(v1) != fingerprintView(v2) {
+			t.Errorf("final sweep %q diverged", query)
+		}
+	}
+}
+
+// TestConcurrentIdenticalQueriesComputeOnce pins request coalescing: N
+// concurrent identical cold queries run the materialisation pipeline
+// exactly once. The leader is parked inside the singleflight'd compute
+// until all other callers are provably waiting on its flight, so none of
+// them can have computed on its own.
+func TestConcurrentIdenticalQueriesComputeOnce(t *testing.T) {
+	q := newFixtureQ(t, true)
+	const n = 8
+	release := make(chan struct{})
+	q.matComputeHook = func() { <-release }
+
+	fps := make(chan string, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			v, err := q.Query("'plasma membrane' term")
+			if err != nil {
+				t.Error(err)
+				fps <- ""
+				return
+			}
+			fps <- fingerprintView(v)
+		}()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for q.qc.matG.Waiting() != n-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d callers coalesced onto the flight", q.qc.matG.Waiting(), n-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+
+	first := <-fps
+	for i := 1; i < n; i++ {
+		if fp := <-fps; fp != first {
+			t.Fatal("coalesced queries returned different answers")
+		}
+	}
+	if execs := q.qc.matG.Execs(); execs != 1 {
+		t.Fatalf("pipeline executed %d times for %d concurrent identical queries, want 1", execs, n)
+	}
+	if co := q.qc.matG.Coalesced(); co != n-1 {
+		t.Fatalf("coalesced = %d, want %d", co, n-1)
+	}
+	// All n views share ONE materialisation object.
+	views := q.Views()
+	matSet := make(map[*viewMat]bool)
+	for _, v := range views {
+		matSet[v.mat.Load()] = true
+	}
+	if len(matSet) != 1 {
+		t.Fatalf("%d distinct materialisations across %d coalesced views, want 1", len(matSet), len(views))
+	}
+}
+
+// TestStatsAndCacheStatsRaceHammer samples every exported counter surface
+// concurrently with queries, a registration and feedback. The race
+// detector is the oracle: Query has been lock-free since the snapshot
+// redesign, so any non-atomic counter on a hot path fails this test under
+// -race.
+func TestStatsAndCacheStatsRaceHammer(t *testing.T) {
+	q, _ := cachePair(t)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for g := 0; g < 2; g++ { // queriers
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v, err := q.Query(cacheQueryPool[rng.Intn(len(cacheQueryPool))])
+				if err == nil {
+					q.DropView(v)
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() { // counter readers
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = q.CacheStats()
+			_ = q.Stats.BaseMatcherCalls()
+			_ = q.Stats.AttrComparisons()
+			_ = q.Stats.ColumnComparisonsUnfiltered()
+			_ = q.Epoch()
+		}
+	}()
+
+	// Writers: registrations bump Stats counters while readers sample them.
+	for step := 0; step < 3; step++ {
+		if _, err := q.RegisterSource(cacheRegSource(t, step), Exhaustive); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, err := q.Query(cacheQueryPool[0]); err == nil {
+		if m := v.Current(); m.Result != nil && len(m.Result.Rows) > 0 {
+			if err := q.FeedbackRow(v, 0, FeedbackValid); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -94,21 +94,42 @@ type Options struct {
 	// runtime.GOMAXPROCS(0). Fixed at construction: changing it requires a
 	// new Q (or a persist round-trip with different Options).
 	Shards int
+	// QueryCacheDisabled turns the serving-layer query cache off entirely
+	// (internal/qcache: the epoch-keyed keyword-expansion and view-
+	// materialisation caches plus their request-coalescing singleflight).
+	// The cache is on by default — cached answers are byte-identical to
+	// uncached ones at every epoch (cache_test.go pins it), so disabling it
+	// is only useful for measurement (BenchmarkColdQuery) and debugging.
+	QueryCacheDisabled bool
+	// ExpansionCacheEntries is the capacity, in entries, of the
+	// keyword-expansion cache (one entry per (epoch, normalised keyword):
+	// the scored, truncated value matches of that keyword). 0 means the
+	// default; negative disables just this cache.
+	ExpansionCacheEntries int
+	// MaterializationCacheEntries is the capacity, in entries, of the view-
+	// materialisation cache (one entry per (epoch, keyword sequence, k):
+	// the complete immutable materialisation — trees, queries, ranked
+	// result, α). Entries pin their state generation in memory, so this
+	// knob trades memory for repeated-query latency. 0 means the default;
+	// negative disables just this cache.
+	MaterializationCacheEntries int
 }
 
 // DefaultOptions returns the settings used throughout the paper's
 // experiments: k=5, Y=2.
 func DefaultOptions() Options {
 	return Options{
-		K:                    5,
-		TopY:                 2,
-		MatchThreshold:       0.30,
-		MaxMatchesPerKeyword: 8,
-		ColumnAlignThreshold: 2.0,
-		AssocCostThreshold:   0,
-		PreferentialBudget:   3,
-		Parallelism:          runtime.GOMAXPROCS(0),
-		Shards:               runtime.GOMAXPROCS(0),
+		K:                           5,
+		TopY:                        2,
+		MatchThreshold:              0.30,
+		MaxMatchesPerKeyword:        8,
+		ColumnAlignThreshold:        2.0,
+		AssocCostThreshold:          0,
+		PreferentialBudget:          3,
+		Parallelism:                 runtime.GOMAXPROCS(0),
+		Shards:                      runtime.GOMAXPROCS(0),
+		ExpansionCacheEntries:       4096,
+		MaterializationCacheEntries: 256,
 	}
 }
 
@@ -138,25 +159,53 @@ func (o Options) withDefaults() Options {
 	if o.Shards <= 0 {
 		o.Shards = d.Shards
 	}
+	if o.ExpansionCacheEntries == 0 {
+		o.ExpansionCacheEntries = d.ExpansionCacheEntries
+	}
+	if o.MaterializationCacheEntries == 0 {
+		o.MaterializationCacheEntries = d.MaterializationCacheEntries
+	}
 	return o
 }
 
 // Stats counts the alignment work done during source registration; the
 // Figure 6–8 experiments read these counters.
+//
+// The counters are atomic so readers (shells, monitoring, tests) can
+// sample them concurrently with an in-flight registration without a data
+// race — Query has been lock-free since the snapshot redesign, so nothing
+// on any hot path may bump a plain int. Today every writer of these
+// particular counters runs under writerMu (they count registration-side
+// work only; the query path's counters live in the qcache layer and are
+// atomic there — see CacheStats), but the atomic representation keeps the
+// type safe under any future caller, and the hammer in cache_test.go pins
+// concurrent reads under -race.
 type Stats struct {
-	// BaseMatcherCalls counts relation-pair matcher invocations (the
-	// BASEMATCHER calls of Algorithms 2–3).
-	BaseMatcherCalls int
-	// AttrComparisons counts pairwise attribute comparisons performed,
-	// honouring the value-overlap filter when enabled.
-	AttrComparisons int
-	// ColumnComparisonsUnfiltered counts comparisons as if no filter were
-	// available (the "No Additional Filter" accounting of Figure 7).
-	ColumnComparisonsUnfiltered int
+	baseMatcherCalls            atomic.Int64
+	attrComparisons             atomic.Int64
+	columnComparisonsUnfiltered atomic.Int64
+}
+
+// BaseMatcherCalls counts relation-pair matcher invocations (the
+// BASEMATCHER calls of Algorithms 2–3).
+func (s *Stats) BaseMatcherCalls() int { return int(s.baseMatcherCalls.Load()) }
+
+// AttrComparisons counts pairwise attribute comparisons performed,
+// honouring the value-overlap filter when enabled.
+func (s *Stats) AttrComparisons() int { return int(s.attrComparisons.Load()) }
+
+// ColumnComparisonsUnfiltered counts comparisons as if no filter were
+// available (the "No Additional Filter" accounting of Figure 7).
+func (s *Stats) ColumnComparisonsUnfiltered() int {
+	return int(s.columnComparisonsUnfiltered.Load())
 }
 
 // Reset zeroes the counters.
-func (s *Stats) Reset() { *s = Stats{} }
+func (s *Stats) Reset() {
+	s.baseMatcherCalls.Store(0)
+	s.attrComparisons.Store(0)
+	s.columnComparisonsUnfiltered.Store(0)
+}
 
 // qstate is one published generation of Q's shared read state. Writers
 // build the next generation under writerMu and swap it in atomically;
@@ -176,6 +225,12 @@ type qstate struct {
 	// epoch counts publishes that changed anything; a view materialisation
 	// records the epoch it was computed at so staleness is one comparison.
 	epoch uint64
+	// published marks a real, committed generation — the only kind the
+	// query caches may key on. Registration builds interim qstates over the
+	// half-built next generation (unpublishedStateLocked) that reuse the
+	// previous epoch number; caching anything computed against one would
+	// poison the cache for that epoch.
+	published bool
 }
 
 // Q is the integration system.
@@ -222,6 +277,16 @@ type Q struct {
 	// swapped atomically per view).
 	viewsMu sync.Mutex
 	views   []*View
+
+	// qc is the serving-layer query cache (nil when disabled). Its entries
+	// are keyed by published epoch, so it needs no invalidation: writers
+	// just publish a new epoch and old entries age out.
+	qc *queryCaches
+
+	// matComputeHook, when set (tests only, before concurrency starts), is
+	// called inside the singleflight'd materialisation compute — the
+	// coalescing test parks the leader here while counting waiters.
+	matComputeHook func()
 }
 
 // New constructs an empty Q system with the given options and the default
@@ -235,6 +300,7 @@ func New(opts Options) *Q {
 		binner:  learning.DefaultBinner(),
 		mira:    learning.NewMIRA(),
 		corpus:  text.NewCorpus(),
+		qc:      newQueryCaches(o),
 	}
 	q.Catalog.UseScanFindValues(o.ScanFindValues)
 	q.Catalog.SetParallelism(o.Parallelism)
@@ -287,8 +353,12 @@ func (q *Q) publishLocked() *qstate {
 		parallelism: q.opts.Parallelism,
 		execSem:     sem,
 		epoch:       q.epoch,
+		published:   true,
 	}
 	q.st.Store(st)
+	// Announce the new generation to the query caches: entries of older
+	// epochs are now dead and evict first.
+	q.qc.setLiveEpoch(st.epoch)
 	return st
 }
 

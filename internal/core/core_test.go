@@ -349,9 +349,9 @@ func TestViewBasedMatchesExhaustiveOnViewResults(t *testing.T) {
 	if re != rv {
 		t.Errorf("view contents diverge:\nEXHAUSTIVE:\n%s\nVIEWBASED:\n%s", re, rv)
 	}
-	if qv.Stats.AttrComparisons > qe.Stats.AttrComparisons {
+	if qv.Stats.AttrComparisons() > qe.Stats.AttrComparisons() {
 		t.Errorf("view-based did more work: %d vs %d",
-			qv.Stats.AttrComparisons, qe.Stats.AttrComparisons)
+			qv.Stats.AttrComparisons(), qe.Stats.AttrComparisons())
 	}
 }
 
@@ -403,7 +403,7 @@ func TestValueOverlapFilterReducesComparisons(t *testing.T) {
 		if _, err := q.RegisterSource(newTables, Exhaustive); err != nil {
 			t.Fatal(err)
 		}
-		return q.Stats.AttrComparisons
+		return q.Stats.AttrComparisons()
 	}
 	unfiltered := run(false)
 	filtered := run(true)

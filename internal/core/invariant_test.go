@@ -166,7 +166,7 @@ func TestViewBasedEqualsExhaustiveRandomized(t *testing.T) {
 			for _, v := range q.Views() {
 				rendered = append(rendered, canonicalRows(v))
 			}
-			return q, rendered, q.Stats.AttrComparisons
+			return q, rendered, q.Stats.AttrComparisons()
 		}
 
 		_, exRows, exWork := build(Exhaustive)

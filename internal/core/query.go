@@ -9,7 +9,6 @@ import (
 	"qint/internal/relstore"
 	"qint/internal/searchgraph"
 	"qint/internal/steiner"
-	"qint/internal/text"
 )
 
 // View is a persistent keyword-search view (paper §2.3): the definition
@@ -183,17 +182,23 @@ func (q *Q) Query(query string) (*View, error) { return q.QueryWith(query, 0) }
 // published default). The override sizes this call's own translation and
 // execution fan-out; the global in-flight execution bound still applies.
 // Answers are byte-identical at any setting.
+//
+// Repeated queries are served from the materialisation cache: two views
+// with the same keyword sequence at the same published epoch share one
+// immutable materialisation (and N concurrent identical cold queries
+// compute it once — see cache.go), with answers byte-identical to an
+// uncached run.
 func (q *Q) QueryWith(query string, parallelism int) (*View, error) {
 	keywords := parseKeywords(query)
 	if len(keywords) == 0 {
 		return nil, fmt.Errorf("core: empty keyword query %q", query)
 	}
 	st := q.state()
-	v := &View{Keywords: keywords, K: q.opts.K}
-	mat, err := q.materializeAt(st, v, parallelism)
+	mat, err := q.materializeCached(st, keywords, q.opts.K, parallelism)
 	if err != nil {
 		return nil, err
 	}
+	v := &View{Keywords: keywords, K: q.opts.K}
 	v.mat.Store(mat)
 	q.viewsMu.Lock()
 	q.views = append(q.views, v)
@@ -231,59 +236,46 @@ func (q *Q) expandKeyword(st *qstate, ov *searchgraph.Overlay, kw string) steine
 		}
 	}
 
-	// Data-value matches: lazily create value nodes (paper §2.1/§2.2).
-	// FindValues answers from the catalog's inverted value index (trigram +
-	// whole-token postings, per-table segments shared across copy-on-write
-	// generations) rather than scanning rows; Options.ScanFindValues routes
-	// it through the reference scan, with byte-identical hits either way.
-	hits := st.cat.FindValues(kw)
-	if len(hits) > q.opts.MaxMatchesPerKeyword {
-		// Prefer exact-normalised matches, then fewer-row (more selective)
-		// values, for determinism under truncation.
-		nkw := text.Normalize(kw)
-		sort.SliceStable(hits, func(i, j int) bool {
-			ei := text.Normalize(hits[i].Value) == nkw
-			ej := text.Normalize(hits[j].Value) == nkw
-			if ei != ej {
-				return ei
-			}
-			return hits[i].Rows < hits[j].Rows
-		})
-		hits = hits[:q.opts.MaxMatchesPerKeyword]
-	}
-	for _, h := range hits {
-		sim := text.ContainmentSimilarity(kw, h.Value)
-		if sim < q.opts.MatchThreshold {
-			continue
-		}
-		vn := ov.ValueNode(h.Ref, h.Value)
+	// Data-value matches: lazily create value nodes (paper §2.1/§2.2). The
+	// scored, truncated match list comes from the expansion cache when this
+	// is a published generation (computeValueExpansions in cache.go is the
+	// uncached path — FindValues over the inverted value index, similarity
+	// scoring, deterministic truncation); only the overlay wiring is
+	// per-query work on a hit.
+	for _, vm := range q.valueExpansions(st, kw) {
+		vn := ov.ValueNode(vm.Ref, vm.Value)
 		if vn < 0 {
 			continue // attribute unknown to this graph generation
 		}
-		ov.AddKeywordEdge(kwNode, vn, sim)
+		ov.AddKeywordEdge(kwNode, vn, vm.Sim)
 	}
 	return kwNode
 }
 
-// materializeAt computes a full materialisation of v against one state
-// generation. It runs in two phases. The plan phase expands the keywords
-// into a fresh overlay, computes the top-k trees and translates them into
-// deduplicated, column-aligned conjunctive queries — all against private or
-// frozen data, so no lock is needed. The execute phase fans the branch
-// executions across the bounded worker pool; branches are collected by
-// query index, so the DisjointUnion sees them in tree-cost order and the
+// materializeAt computes a full materialisation of a keyword query against
+// one state generation. It runs in two phases. The plan phase expands the
+// keywords into a fresh overlay, computes the top-k trees and translates
+// them into deduplicated, column-aligned conjunctive queries — all against
+// private or frozen data, so no lock is needed. The execute phase fans the
+// branch executions across the bounded worker pool; branches are collected
+// by query index, so the DisjointUnion sees them in tree-cost order and the
 // result is byte-identical at any parallelism.
-func (q *Q) materializeAt(st *qstate, v *View, parallelism int) (*viewMat, error) {
+//
+// The returned viewMat is immutable (its overlay is never mutated after
+// this function returns), so the materialisation cache can hand one result
+// to any number of views and concurrent readers; callers go through
+// materializeCached.
+func (q *Q) materializeAt(st *qstate, keywords []string, k, parallelism int) (*viewMat, error) {
 	workers := parallelism
 	if workers <= 0 {
 		workers = st.parallelism
 	}
 	ov := st.graph.NewOverlay()
-	terminals := make([]steiner.NodeID, 0, len(v.Keywords))
-	for _, kw := range v.Keywords {
+	terminals := make([]steiner.NodeID, 0, len(keywords))
+	for _, kw := range keywords {
 		terminals = append(terminals, q.expandKeyword(st, ov, kw))
 	}
-	trees, queries, err := q.planOverlay(st, ov, terminals, v.K, workers)
+	trees, queries, err := q.planOverlay(st, ov, terminals, k, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -317,8 +309,8 @@ func (q *Q) materializeAt(st *qstate, v *View, parallelism int) (*viewMat, error
 	// tree when the view yields fewer than k tuples.
 	alpha := 0.0
 	switch {
-	case len(result.Rows) >= v.K && v.K > 0:
-		alpha = result.Rows[v.K-1].Cost
+	case len(result.Rows) >= k && k > 0:
+		alpha = result.Rows[k-1].Cost
 	case len(result.Rows) > 0:
 		alpha = result.Rows[len(result.Rows)-1].Cost
 		if len(trees) > 0 && trees[len(trees)-1].Cost > alpha {
@@ -432,8 +424,12 @@ func (q *Q) Refresh() error {
 func (q *Q) refreshLocked() error {
 	st := q.publishLocked()
 	views := q.Views()
+	// Each view rematerialises through the cache: views sharing a keyword
+	// sequence share one materialisation of the new generation (the refresh
+	// fan-out coalesces on the in-flight compute), and a query racing the
+	// refresh at the same epoch reuses it too.
 	return runIndexed(len(views), st.parallelism, func(i int) error {
-		mat, err := q.materializeAt(st, views[i], 0)
+		mat, err := q.materializeCached(st, views[i].Keywords, views[i].K, 0)
 		if err != nil {
 			return err
 		}

@@ -255,20 +255,20 @@ func (q *Q) preferentialTargets(existing []*relstore.Relation) []*relstore.Relat
 // Stats and the report.
 func (q *Q) matchPair(m matcher.Matcher, newRel, target *relstore.Relation, report *RegisterReport) []matcher.Alignment {
 	nAttrs := len(newRel.Attributes) * len(target.Attributes)
-	q.Stats.ColumnComparisonsUnfiltered += nAttrs
+	q.Stats.columnComparisonsUnfiltered.Add(int64(nAttrs))
 
 	allowed := func(relstore.AttrRef, relstore.AttrRef) bool { return true }
 	if q.opts.ValueOverlapFilter {
 		pairs := q.overlappingPairs(newRel, target)
-		q.Stats.AttrComparisons += len(pairs)
+		q.Stats.attrComparisons.Add(int64(len(pairs)))
 		allowed = func(a, b relstore.AttrRef) bool {
 			return pairs[[2]relstore.AttrRef{a, b}] || pairs[[2]relstore.AttrRef{b, a}]
 		}
 	} else {
-		q.Stats.AttrComparisons += nAttrs
+		q.Stats.attrComparisons.Add(int64(nAttrs))
 	}
 
-	q.Stats.BaseMatcherCalls++
+	q.Stats.baseMatcherCalls.Add(1)
 	report.MatcherCalls++
 	var filtered []matcher.Alignment
 	for _, al := range m.Match(q.Catalog, newRel, target) {
@@ -276,7 +276,7 @@ func (q *Q) matchPair(m matcher.Matcher, newRel, target *relstore.Relation, repo
 			filtered = append(filtered, al)
 		}
 	}
-	report.AttrComparisons = q.Stats.AttrComparisons
+	report.AttrComparisons = q.Stats.AttrComparisons()
 	return filtered
 }
 

@@ -113,7 +113,7 @@ func TestShardedQueryEquivalence(t *testing.T) {
 // fingerprintReport flattens the parts of a registration report that must
 // be shard-invariant: the relations compared, every alignment's best
 // confidence, and the comparison counters.
-func fingerprintReport(rep *RegisterReport, stats Stats) string {
+func fingerprintReport(rep *RegisterReport, stats *Stats) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "source=%s new=%v targets=%v\n", rep.Source, rep.NewRelations, rep.TargetsCompared)
 	pairs := make([]string, 0, len(rep.AlignmentsByPair))
@@ -123,7 +123,7 @@ func fingerprintReport(rep *RegisterReport, stats Stats) string {
 	sort.Strings(pairs)
 	fmt.Fprintf(&b, "alignments=%v\n", pairs)
 	fmt.Fprintf(&b, "stats matcher=%d attr=%d unfiltered=%d\n",
-		stats.BaseMatcherCalls, stats.AttrComparisons, stats.ColumnComparisonsUnfiltered)
+		stats.BaseMatcherCalls(), stats.AttrComparisons(), stats.ColumnComparisonsUnfiltered())
 	return b.String()
 }
 
@@ -145,7 +145,7 @@ func TestShardedRegistrationEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return fingerprintReport(rep, q.Stats), fingerprintView(v)
+		return fingerprintReport(rep, &q.Stats), fingerprintView(v)
 	}
 	wantRep, wantView := run(1)
 	for _, n := range shardCountBattery()[1:] {

@@ -187,7 +187,7 @@ func RunFig7() ([]Fig7Row, error) {
 					if _, err := q.RegisterSource(sourceTables(corpus, src), strat); err != nil {
 						return nil, fmt.Errorf("eval: fig7 register %s: %w", src, err)
 					}
-					totalComparisons += q.Stats.AttrComparisons
+					totalComparisons += q.Stats.AttrComparisons()
 					n++
 				}
 			}

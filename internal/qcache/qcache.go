@@ -1,0 +1,280 @@
+// Package qcache is the serving-layer cache between the HTTP server and the
+// Q engine: a generic sharded LRU whose entries are keyed by
+// (epoch, key) — one immutable published-state generation plus a
+// caller-defined key within it — and a singleflight group that collapses
+// concurrent identical misses into one computation.
+//
+// Epoch keying is what makes the cache correct without any invalidation
+// protocol. Every published state generation of Q is immutable and carries
+// a unique epoch (PRs 2–4): a cached result computed at epoch e is a pure
+// function of (e, key), so it can never go stale — a registration or
+// feedback write publishes a NEW epoch, under which every lookup simply
+// misses, and the entries of dead epochs age out of the LRU (eviction
+// prefers them, see Put). Nothing is ever invalidated, flushed or locked
+// on the write path.
+//
+// The cache itself knows nothing about Q: core wires one Cache per
+// memoised computation (keyword expansion, view materialisation) and the
+// server reads the counters for /stats.
+package qcache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Key identifies one cache entry: the published-state epoch the value was
+// computed at plus a caller-defined key within that generation.
+type Key struct {
+	Epoch uint64
+	K     string
+}
+
+// Counters is a point-in-time snapshot of a cache's activity counters.
+// Hits and Misses count Get outcomes; Evictions counts entries dropped for
+// capacity; Entries is the current resident count and LiveEpochs the
+// number of distinct epochs those entries were computed at (1 on a
+// quiesced instance — more means older generations haven't aged out yet).
+type Counters struct {
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Entries    int
+	LiveEpochs int
+}
+
+// Cache is a sharded LRU over (epoch, key) entries with a fixed total
+// capacity in entries. All methods are safe for concurrent use; each shard
+// serialises on its own mutex, so unrelated keys rarely contend.
+//
+// Eviction prefers dead epochs: when a shard is full, Put scans a bounded
+// window from the LRU tail for an entry whose epoch differs from the one
+// last announced via SetLiveEpoch and evicts that first, falling back to
+// the plain LRU tail. Entries from superseded generations therefore drain
+// ahead of the current generation's working set.
+type Cache[V any] struct {
+	shards []*cshard[V]
+	live   atomic.Uint64 // current published epoch (eviction preference)
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// evictScan bounds how far from the LRU tail Put searches for a dead-epoch
+// entry before falling back to the tail itself, keeping eviction O(1).
+const evictScan = 8
+
+// numShards is the fixed shard count for caches large enough to split.
+const numShards = 16
+
+type entry[V any] struct {
+	key        Key
+	val        V
+	prev, next *entry[V] // LRU list; head = most recent
+}
+
+type cshard[V any] struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[Key]*entry[V]
+	head    *entry[V]
+	tail    *entry[V]
+}
+
+// New returns a cache holding at most capacity entries in total.
+// capacity <= 0 returns nil: a nil *Cache is valid and behaves as a
+// disabled cache (Get always misses without counting, Put is a no-op), so
+// callers can wire the knob straight through.
+func New[V any](capacity int) *Cache[V] {
+	if capacity <= 0 {
+		return nil
+	}
+	n := numShards
+	if capacity < n {
+		n = capacity
+	}
+	c := &Cache[V]{shards: make([]*cshard[V], n)}
+	per := (capacity + n - 1) / n
+	for i := range c.shards {
+		c.shards[i] = &cshard[V]{cap: per, entries: make(map[Key]*entry[V], per)}
+	}
+	return c
+}
+
+// SetLiveEpoch announces the currently published generation; eviction
+// prefers entries computed at any OTHER epoch. Callers invoke it on every
+// publish (monotonic, but the cache does not require that).
+func (c *Cache[V]) SetLiveEpoch(epoch uint64) {
+	if c == nil {
+		return
+	}
+	c.live.Store(epoch)
+}
+
+// shardOf picks the shard for a key: FNV-1a over the string key folded
+// with the epoch, so one epoch's keys spread across all shards.
+func (c *Cache[V]) shardOf(k Key) *cshard[V] {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(k.K); i++ {
+		h ^= uint64(k.K[i])
+		h *= prime64
+	}
+	h ^= k.Epoch
+	h *= prime64
+	return c.shards[h%uint64(len(c.shards))]
+}
+
+// Get returns the cached value for k, marking it most-recently-used.
+func (c *Cache[V]) Get(k Key) (V, bool) {
+	var zero V
+	if c == nil {
+		return zero, false
+	}
+	s := c.shardOf(k)
+	s.mu.Lock()
+	e, ok := s.entries[k]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return zero, false
+	}
+	s.moveToFront(e)
+	v := e.val
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return v, true
+}
+
+// Put inserts (or refreshes) the value for k, evicting if the shard is at
+// capacity — preferring a dead-epoch entry near the LRU tail (see Cache).
+func (c *Cache[V]) Put(k Key, v V) {
+	if c == nil {
+		return
+	}
+	live := c.live.Load()
+	s := c.shardOf(k)
+	s.mu.Lock()
+	if e, ok := s.entries[k]; ok {
+		e.val = v
+		s.moveToFront(e)
+		s.mu.Unlock()
+		return
+	}
+	evicted := uint64(0)
+	for len(s.entries) >= s.cap {
+		s.remove(s.victim(live))
+		evicted++
+	}
+	e := &entry[V]{key: k, val: v}
+	s.entries[k] = e
+	s.pushFront(e)
+	s.mu.Unlock()
+	if evicted > 0 {
+		c.evictions.Add(evicted)
+	}
+}
+
+// victim picks the entry to evict: the first dead-epoch entry within
+// evictScan steps of the LRU tail, else the tail itself. Callers hold the
+// shard lock and guarantee the shard is non-empty.
+func (s *cshard[V]) victim(live uint64) *entry[V] {
+	e := s.tail
+	for i := 0; e != nil && i < evictScan; i++ {
+		if e.key.Epoch != live {
+			return e
+		}
+		e = e.prev
+	}
+	return s.tail
+}
+
+func (s *cshard[V]) pushFront(e *entry[V]) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *cshard[V]) remove(e *entry[V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	delete(s.entries, e.key)
+}
+
+func (s *cshard[V]) moveToFront(e *entry[V]) {
+	if s.head == e {
+		return
+	}
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+}
+
+// Len returns the current number of resident entries.
+func (c *Cache[V]) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Counters snapshots the cache's activity counters (all zero on a nil,
+// disabled cache). LiveEpochs walks the shards, so it is O(entries);
+// intended for /stats and shells, not hot paths.
+func (c *Cache[V]) Counters() Counters {
+	if c == nil {
+		return Counters{}
+	}
+	epochs := make(map[uint64]struct{})
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += len(s.entries)
+		for k := range s.entries {
+			epochs[k.Epoch] = struct{}{}
+		}
+		s.mu.Unlock()
+	}
+	return Counters{
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		Evictions:  c.evictions.Load(),
+		Entries:    n,
+		LiveEpochs: len(epochs),
+	}
+}

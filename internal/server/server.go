@@ -13,7 +13,15 @@
 //	GET  /views/{id}         one view's ranked answers
 //	POST /views/{id}/feedback  mark an answer valid/invalid  (FeedbackRequest)
 //	GET  /associations       association edges with costs
-//	GET  /stats              catalog and graph statistics
+//	GET  /stats              catalog, graph and query-cache statistics
+//
+// Answer-carrying responses (POST /query, GET /views/{id}, and the
+// feedback echo) include an X-Q-Epoch header: the immutable published
+// state generation the answers were computed at. Identical queries at the
+// same epoch return byte-identical answers — the engine serves them from
+// its epoch-keyed cache — so HTTP clients can key their own caches by
+// (epoch, query) and treat entries as immutable; a response with a higher
+// epoch signals that a write has been published since.
 //
 // Concurrency model: POST /query is a pure READ of Q. Each query runs
 // against the copy-on-write snapshot Q last published — expanding its
@@ -224,7 +232,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// The query itself is a lock-free read of Q's published snapshot; only
-	// the registry append below takes the server mutex, briefly.
+	// the registry append below takes the server mutex, briefly. Repeated
+	// queries answer from the engine's epoch-keyed materialisation cache.
 	v, err := s.q.QueryWith(req.Q, parallel)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
@@ -235,7 +244,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.views = append(s.views, viewEntry{id: id, view: v})
 	s.byID[id] = v
 	s.mu.Unlock()
-	writeJSON(w, http.StatusCreated, answersOf(id, v))
+	m := v.Current()
+	setEpochHeader(w, m)
+	writeJSON(w, http.StatusCreated, answersOfMat(id, v, m))
+}
+
+// setEpochHeader stamps the response with the published-state generation
+// the answers were computed at. Epochs identify immutable generations, so
+// clients can treat (epoch, query) as an immutable cache key of their own —
+// the same contract the engine's internal cache is built on; a response
+// carrying a new epoch is the signal that previous entries are stale.
+func setEpochHeader(w http.ResponseWriter, m core.Materialization) {
+	w.Header().Set("X-Q-Epoch", strconv.FormatUint(m.Epoch, 10))
 }
 
 func (s *Server) handleViews(w http.ResponseWriter, r *http.Request) {
@@ -267,7 +287,9 @@ func (s *Server) handleViewByID(w http.ResponseWriter, r *http.Request) {
 
 	switch {
 	case len(parts) == 1 && r.Method == http.MethodGet:
-		writeJSON(w, http.StatusOK, answersOf(id, v))
+		m := v.Current()
+		setEpochHeader(w, m)
+		writeJSON(w, http.StatusOK, answersOfMat(id, v, m))
 	case len(parts) == 2 && parts[1] == "feedback" && r.Method == http.MethodPost:
 		var req FeedbackRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -287,7 +309,9 @@ func (s *Server) handleViewByID(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		writeJSON(w, http.StatusOK, answersOf(id, v))
+		m := v.Current()
+		setEpochHeader(w, m)
+		writeJSON(w, http.StatusOK, answersOfMat(id, v, m))
 	default:
 		httpError(w, http.StatusNotFound, "unknown view endpoint")
 	}
@@ -314,8 +338,10 @@ func summaryOfMat(id string, v *core.View, m core.Materialization) ViewSummary {
 	}
 }
 
-func answersOf(id string, v *core.View) ViewAnswers {
-	m := v.Current()
+// answersOfMat renders one already-loaded materialisation, so a handler
+// that also stamps X-Q-Epoch reports the same generation in header and
+// body even under a concurrent Refresh.
+func answersOfMat(id string, v *core.View, m core.Materialization) ViewAnswers {
 	out := ViewAnswers{ViewSummary: summaryOfMat(id, v, m)}
 	if m.Result == nil {
 		return out
@@ -352,14 +378,19 @@ func (s *Server) handleAssociations(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// StatsResponse summarises the running instance.
+// StatsResponse summarises the running instance. Epoch is the currently
+// published state generation; Cache carries the serving-layer query-cache
+// counters (hits, misses, computes, coalesced, evictions, entries, live
+// epochs — per cache).
 type StatsResponse struct {
-	Relations  int            `json:"relations"`
-	Attributes int            `json:"attributes"`
-	Sources    []string       `json:"sources"`
-	Nodes      map[string]int `json:"nodes"`
-	Edges      map[string]int `json:"edges"`
-	Views      int            `json:"views"`
+	Relations  int             `json:"relations"`
+	Attributes int             `json:"attributes"`
+	Sources    []string        `json:"sources"`
+	Nodes      map[string]int  `json:"nodes"`
+	Edges      map[string]int  `json:"edges"`
+	Views      int             `json:"views"`
+	Epoch      uint64          `json:"epoch"`
+	Cache      core.CacheStats `json:"cache"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -383,6 +414,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		Edges: make(map[string]int, len(sum.ByEdgeKind)),
 		Views: nViews,
+		Epoch: s.q.Epoch(),
+		Cache: s.q.CacheStats(),
 	}
 	for k, n := range sum.ByEdgeKind {
 		resp.Edges[k.String()] = n

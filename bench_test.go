@@ -750,3 +750,118 @@ func BenchmarkMADLargeGraph(b *testing.B) {
 		}
 	}
 }
+
+// --- Streaming-executor benchmarks -------------------------------------------
+//
+// The streaming-execution tentpole: the same join-shaped branch batch on the
+// 120-table synthetic catalog through the materialise-everything reference
+// executor versus the streaming iterator pipeline. The metamorphic suite
+// (internal/relstore/stream_test.go) and FuzzExecuteEquivalence prove the
+// results byte-identical; this pair proves the allocation and peak-memory
+// reduction is real (expect ≥2x on allocated bytes). Beyond -benchmem's
+// allocated-bytes/op, each reports a peak-bytes metric sampled from
+// HeapAlloc while the batch runs — the materialised path holds every
+// intermediate relation live at once, the streaming path only the current
+// row and surviving output. CI runs the pair once per push; cmd/qbench
+// -exp stream prints the comparison standalone with the early-termination
+// counters of the top-k-pruned union.
+
+// benchExecWorkload is the join-shaped branch batch: an equi-join on name
+// with a pushed-down Contains selection for every adjacent table pair (the
+// shape two-atom Steiner trees materialise into), plus one selection branch
+// per table.
+func benchExecWorkload(cat *relstore.Catalog) []*relstore.ConjunctiveQuery {
+	names := cat.RelationNames()
+	var queries []*relstore.ConjunctiveQuery
+	for i := 0; i+1 < len(names); i++ {
+		queries = append(queries, &relstore.ConjunctiveQuery{
+			Atoms: []relstore.Atom{{Relation: names[i], Alias: "t0"}, {Relation: names[i+1], Alias: "t1"}},
+			Joins: []relstore.JoinCond{{LeftAlias: "t0", LeftAttr: "name", RightAlias: "t1", RightAttr: "name"}},
+			Selects: []relstore.SelCond{
+				{Alias: "t0", Attr: "description", Op: relstore.OpContains, Value: "pro"}},
+			Project: []relstore.ProjCol{
+				{Alias: "t0", Attr: "acc", As: "acc"}, {Alias: "t1", Attr: "acc", As: "acc2"}},
+		})
+	}
+	for _, qn := range names {
+		queries = append(queries, &relstore.ConjunctiveQuery{
+			Atoms:   []relstore.Atom{{Relation: qn, Alias: "t0"}},
+			Selects: []relstore.SelCond{{Alias: "t0", Attr: "description", Op: relstore.OpContains, Value: "mem"}},
+			Project: []relstore.ProjCol{{Alias: "t0", Attr: "acc", As: "acc"}},
+		})
+	}
+	return queries
+}
+
+// benchExecutorQueryExec times the batch under one executor and reports the
+// peak HeapAlloc observed while it runs (sampled at 100µs, minus the
+// baseline before the batch starts) as "peak-bytes".
+func benchExecutorQueryExec(b *testing.B, materialised bool) {
+	cat, _ := benchShardCatalog(b, 0)
+	cat.UseMaterialisedExec(materialised)
+	queries := benchExecWorkload(cat)
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+	var peak uint64
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			if m.HeapAlloc > peak {
+				peak = m.HeapAlloc
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := relstore.ExecuteBatch(cat, queries, runtime.GOMAXPROCS(0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+	var growth uint64
+	if peak > base.HeapAlloc {
+		growth = peak - base.HeapAlloc
+	}
+	b.ReportMetric(float64(growth), "peak-bytes")
+}
+
+func BenchmarkMaterialisedQueryExec(b *testing.B) { benchExecutorQueryExec(b, true) }
+func BenchmarkStreamingQueryExec(b *testing.B)    { benchExecutorQueryExec(b, false) }
+
+// BenchmarkTopKPrunedQueryExec times the same batch through the top-k
+// streamed union (k=25, costs ascending with branch index), where later
+// branches are provably unbeatable and are never executed at all.
+func BenchmarkTopKPrunedQueryExec(b *testing.B) {
+	cat, _ := benchShardCatalog(b, 0)
+	queries := benchExecWorkload(cat)
+	prov := make([]string, len(queries))
+	for i, q := range queries {
+		q.Cost = float64(i)
+		prov[i] = q.Signature()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var skipped int
+	for i := 0; i < b.N; i++ {
+		_, stats, err := relstore.ExecuteTopKUnion(cat, queries, 25, prov)
+		if err != nil {
+			b.Fatal(err)
+		}
+		skipped = stats.BranchesSkipped
+	}
+	b.ReportMetric(float64(skipped), "branches-skipped")
+}

@@ -3,7 +3,7 @@
 // reports. Use -exp to run a single experiment.
 //
 //	qbench            # run everything
-//	qbench -exp fig7  # one of: table1 fig6 fig7 fig8 fig10 fig11 fig12 table2 ablation propagation parallel snapshot valueindex shard cache
+//	qbench -exp fig7  # one of: table1 fig6 fig7 fig8 fig10 fig11 fig12 table2 ablation propagation parallel snapshot valueindex shard cache stream
 package main
 
 import (
@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig6, fig7, fig8, table1, fig10, fig11, fig12, table2, ablation, parallel, snapshot, valueindex, shard, cache")
+	exp := flag.String("exp", "all", "experiment to run: all, fig6, fig7, fig8, table1, fig10, fig11, fig12, table2, ablation, parallel, snapshot, valueindex, shard, cache, stream")
 	flag.Parse()
 
 	runners := []struct {
@@ -46,6 +46,7 @@ func main() {
 		{"valueindex", valueindex},
 		{"shard", shard},
 		{"cache", cache},
+		{"stream", stream},
 	}
 	ran := false
 	for _, r := range runners {
@@ -290,6 +291,33 @@ func cache() error {
 	for _, r := range rows {
 		fmt.Printf("%-6.1f %-8d %-9d %8.1f%% %12v %12v %9.1fx\n",
 			r.Skew, r.Queries, r.Distinct, 100*r.HitRate, r.ColdMean, r.WarmMean, r.Speedup)
+	}
+	return nil
+}
+
+// stream compares the materialised reference executor, the streaming
+// iterator pipeline and the top-k-pruned streamed union on a join-shaped
+// branch workload — the standalone counterpart of
+// Benchmark{Materialised,Streaming}QueryExec. Per-branch results and the
+// pruned top-k prefix are verified byte-identical before anything is timed.
+func stream() error {
+	rows, err := eval.RunStream()
+	if err != nil {
+		return err
+	}
+	header(fmt.Sprintf("Streaming execution: join-shaped branch batch on the 120-table catalog (GOMAXPROCS=%d)",
+		runtime.GOMAXPROCS(0)))
+	fmt.Printf("%-14s %-9s %12s %12s %10s %10s %14s\n",
+		"Executor", "Branches", "ExecTime", "Alloc", "Executed", "Skipped", "RowsPulled")
+	for _, r := range rows {
+		executed, skipped, pulled := "-", "-", "-"
+		if r.Executor == "topk-prune" {
+			executed = fmt.Sprint(r.BranchesExecuted)
+			skipped = fmt.Sprint(r.BranchesSkipped)
+			pulled = fmt.Sprintf("%d/%d", r.RowsPulled, r.RowsMaterialised)
+		}
+		fmt.Printf("%-14s %-9d %12v %11.1fMB %10s %10s %14s\n",
+			r.Executor, r.Branches, r.ExecTime, float64(r.AllocBytes)/(1<<20), executed, skipped, pulled)
 	}
 	return nil
 }

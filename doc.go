@@ -115,6 +115,44 @@
 // fan-out on the 120-table synthetic catalog (CI runs the pairs once per
 // push); cmd/qbench -exp shard prints the comparison across shard counts.
 //
+// # Streaming execution
+//
+// Conjunctive-query branches — the SQL each Steiner tree translates into —
+// execute through a streaming iterator pipeline (relstore.BuildStream):
+// table scan with pushed-down selections, hash-join probe against the
+// joined-in atom's chained pre-sized build table (nested-loop for
+// similarity-only and cross joins), then projection with set-semantics
+// deduplication, all flowing through one shared row buffer so no
+// intermediate relation is ever materialised. The old
+// materialise-everything executor survives as the executable
+// specification (relstore.ExecuteMaterialised, core.Options
+// .MaterialisedExec) with byte-identical results: the metamorphic suites
+// (internal/relstore/stream_test.go, internal/core/stream_test.go) pin
+// the equivalence on randomised catalogs, join shapes and shard counts
+// and on whole materialised views, and FuzzExecuteEquivalence holds both
+// executors to the same answer on arbitrary row values.
+//
+// Row identity is collision-proof in both paths: the materialised
+// executor keys joins and dedup by a length-prefixed encoding
+// (uvarint(len) ‖ bytes per value, prefix-free per field), and the
+// streaming operators bucket by value hash and verify bucket hits against
+// the values themselves — values containing NUL bytes, embedded spaces or
+// empty strings can never merge distinct tuples (the row-identity bugs
+// the streaming refactor fixed at the root).
+//
+// With core.Options.TopKPrune, a view's branches stream into the ranked
+// union with top-k early termination: branches run in tree-cost order,
+// and once k collected rows have cost at or below a later branch's cost
+// that branch is provably unbeatable (union rank is (cost, branch), all
+// of a branch's rows share its cost) and is never executed. The result's
+// top-k prefix and α stay byte-identical to the unpruned run; the tail is
+// simply not computed, so the knob is off by default (feedback and eval
+// consume full result rows).
+// Benchmark{Materialised,Streaming,TopKPruned}QueryExec quantify the
+// allocation and peak-memory reduction on the 120-table synthetic join
+// workload (CI runs the trio once per push); cmd/qbench -exp stream
+// prints the comparison with the early-termination counters.
+//
 // # Query cache and request coalescing
 //
 // A serving layer (internal/qcache) sits between the HTTP server and the

@@ -66,6 +66,27 @@ type Options struct {
 	// byte-identical hits); keep it off outside of debugging and the
 	// equivalence harnesses — the index is the fast path.
 	ScanFindValues bool
+	// MaterialisedExec routes branch execution through the reference
+	// materialise-everything executor (relstore.ExecuteMaterialised) instead
+	// of the streaming iterator pipeline. The materialised executor is the
+	// executable specification the streaming path is verified against (both
+	// return byte-identical ResultSets — the metamorphic suites in
+	// internal/relstore/stream_test.go and internal/core/stream_test.go pin
+	// it); keep it off outside of debugging and the equivalence harnesses —
+	// streaming is the fast, allocation-free path.
+	MaterialisedExec bool
+	// TopKPrune streams each view's branch queries into the ranked union
+	// with top-k early termination: branches are executed in tree-cost
+	// order, and once k collected rows provably outrank everything a later
+	// branch could produce (all of a branch's rows carry its cost and lose
+	// ties to earlier branches), that branch is never executed at all. The
+	// view's result then holds exactly the provably-top-k rows — its TopK(k)
+	// prefix and α are byte-identical to the full path's, but the tail
+	// beyond k is not computed. Off by default because feedback and the eval
+	// harnesses inspect full result sets; turn it on for serving workloads
+	// that only ever read the top k. Ignored when MaterialisedExec forces
+	// the reference path.
+	TopKPrune bool
 	// RawConfidences disables the confidence binning of §4 and feeds each
 	// matcher's real-valued confidence directly into the edge features (as
 	// a mismatch value, 1 − confidence). The paper warns this destabilises
@@ -303,6 +324,7 @@ func New(opts Options) *Q {
 		qc:      newQueryCaches(o),
 	}
 	q.Catalog.UseScanFindValues(o.ScanFindValues)
+	q.Catalog.UseMaterialisedExec(o.MaterialisedExec)
 	q.Catalog.SetParallelism(o.Parallelism)
 	q.publishLocked()
 	return q

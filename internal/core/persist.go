@@ -77,6 +77,7 @@ func Load(r io.Reader) (*Q, error) {
 		return nil, err
 	}
 	cat.UseScanFindValues(q.opts.ScanFindValues)
+	cat.UseMaterialisedExec(q.opts.MaterialisedExec)
 	cat.SetParallelism(q.opts.Parallelism)
 	q.Catalog = cat
 	q.Graph = graph

@@ -279,29 +279,10 @@ func (q *Q) materializeAt(st *qstate, keywords []string, k, parallelism int) (*v
 	if err != nil {
 		return nil, err
 	}
-	results := make([]*relstore.ResultSet, len(queries))
-	err = runIndexed(len(queries), workers, func(i int) error {
-		st.execSem <- struct{}{}
-		defer func() { <-st.execSem }()
-		rs, err := relstore.Execute(st.cat, queries[i])
-		if err != nil {
-			return err
-		}
-		results[i] = rs
-		return nil
-	})
+	result, err := q.executeBranches(st, queries, k, workers)
 	if err != nil {
 		return nil, err
 	}
-	branches := make([]relstore.Branch, len(queries))
-	for i, cq := range queries {
-		branches[i] = relstore.Branch{
-			Result:     results[i],
-			Cost:       cq.Cost,
-			Provenance: cq.Signature(),
-		}
-	}
-	result := relstore.DisjointUnion(branches)
 	// α is the cost of the k-th top-scoring RESULT (paper §3.3: "the cost
 	// of the kth top-scoring result for the user view") — when the best
 	// query yields many tuples, α stays at that query's cost, keeping the
@@ -329,6 +310,56 @@ func (q *Q) materializeAt(st *qstate, keywords []string, k, parallelism int) (*v
 		result:    result,
 		alpha:     alpha,
 	}, nil
+}
+
+// executeBranches is the execute phase of materialisation: the branch
+// queries (tree-cost order) stream their projected rows into the ranked
+// disjoint union. On the default path each branch compiles into a streaming
+// iterator pipeline (relstore.ExecuteStream via Execute — no intermediate
+// relation is materialised) and the branches fan across the bounded worker
+// pool, collected by query index so the union sees them in tree-cost order;
+// Options.MaterialisedExec forces the reference materialise-everything
+// executor instead, byte-identically. With Options.TopKPrune the scorer
+// additionally pulls branches serially in cost order and stops — skipping a
+// branch's execution entirely — once the running top-k bound is provably
+// unbeatable for it; the result then holds exactly the top-k rows (see the
+// knob's doc for the contract).
+func (q *Q) executeBranches(st *qstate, queries []*relstore.ConjunctiveQuery, k, workers int) (*relstore.UnionResult, error) {
+	prov := make([]string, len(queries))
+	for i, cq := range queries {
+		prov[i] = cq.Signature()
+	}
+	if q.opts.TopKPrune && !q.opts.MaterialisedExec {
+		// Serial by design: whether branch i can be skipped depends on the
+		// rows branches 0..i-1 produced. One execSem slot covers the run.
+		st.execSem <- struct{}{}
+		defer func() { <-st.execSem }()
+		result, _, err := relstore.ExecuteTopKUnion(st.cat, queries, k, prov)
+		return result, err
+	}
+	results := make([]*relstore.ResultSet, len(queries))
+	err := runIndexed(len(queries), workers, func(i int) error {
+		st.execSem <- struct{}{}
+		defer func() { <-st.execSem }()
+		rs, err := relstore.Execute(st.cat, queries[i])
+		if err != nil {
+			return err
+		}
+		results[i] = rs
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	branches := make([]relstore.Branch, len(queries))
+	for i, cq := range queries {
+		branches[i] = relstore.Branch{
+			Result:     results[i],
+			Cost:       cq.Cost,
+			Provenance: prov[i],
+		}
+	}
+	return relstore.DisjointUnion(branches), nil
 }
 
 // planOverlay is the plan phase of materialisation: top-k Steiner trees

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"qint/internal/datasets"
+	"qint/internal/matcher/mad"
+	"qint/internal/matcher/meta"
+)
+
+// This file pins the streaming tentpole at the pipeline level: whole views —
+// trees, query signatures, unified columns, ranked rows with provenance, α —
+// must be byte-identical whether branches execute through the streaming
+// iterator pipeline (the default), the materialised reference executor
+// (Options.MaterialisedExec), or the top-k-pruned streamed union
+// (Options.TopKPrune, compared on the provably-identical top-k prefix).
+
+// streamCorpus is one dataset of the executor-equivalence suite, with a
+// builder parameterised over Options so the executor knobs can be set at
+// construction time (they are wired into the catalog by New).
+type streamCorpus struct {
+	name    string
+	build   func(t *testing.T, mutate func(*Options)) *Q
+	queries []string
+}
+
+func streamCorpora() []streamCorpus {
+	return []streamCorpus{
+		{
+			name: "gbco",
+			build: func(t *testing.T, mutate func(*Options)) *Q {
+				opts := DefaultOptions()
+				mutate(&opts)
+				q := New(opts)
+				q.AddMatcher(meta.New())
+				if err := q.AddTables(datasets.GBCO().Tables...); err != nil {
+					t.Fatal(err)
+				}
+				return q
+			},
+			queries: func() []string {
+				var out []string
+				for _, trial := range datasets.GBCO().Trials {
+					out = append(out, trial.Keywords)
+				}
+				return out
+			}(),
+		},
+		{
+			name: "synthetic",
+			build: func(t *testing.T, mutate func(*Options)) *Q {
+				opts := DefaultOptions()
+				mutate(&opts)
+				q := New(opts)
+				q.AddMatcher(meta.New())
+				q.AddMatcher(mad.New())
+				if err := q.AddTables(syntheticCorpus(t)...); err != nil {
+					t.Fatal(err)
+				}
+				q.AlignAllPairs()
+				return q
+			},
+			queries: []string{"alice widget", "bob gadget", "springfield sprocket", "'C1' item"},
+		},
+	}
+}
+
+// TestMaterialisedExecEquivalence materialises every dataset query once on a
+// default (streaming) instance and once with the reference materialised
+// executor forced, and demands byte-identical views.
+func TestMaterialisedExecEquivalence(t *testing.T) {
+	for _, c := range streamCorpora() {
+		t.Run(c.name, func(t *testing.T) {
+			stream := c.build(t, func(o *Options) {})
+			mat := c.build(t, func(o *Options) { o.MaterialisedExec = true })
+			for _, kw := range c.queries {
+				vs, err := stream.Query(kw)
+				if err != nil {
+					t.Fatalf("streaming query %q: %v", kw, err)
+				}
+				vm, err := mat.Query(kw)
+				if err != nil {
+					t.Fatalf("materialised query %q: %v", kw, err)
+				}
+				fs, fm := fingerprintView(vs), fingerprintView(vm)
+				if fs != fm {
+					t.Errorf("query %q: streaming and materialised views differ\nstreaming:\n%s\nmaterialised:\n%s", kw, fs, fm)
+				}
+				if len(vs.Trees()) == 0 {
+					t.Errorf("query %q produced no trees; equivalence is vacuous", kw)
+				}
+			}
+		})
+	}
+}
+
+// TestTopKPruneEquivalence compares a pruned instance against the default:
+// everything except the untaken result tail must agree — trees, branch
+// queries, columns, α, and the ranked rows up to k, which is exactly what
+// pruning promises (the tail is never computed, by design).
+func TestTopKPruneEquivalence(t *testing.T) {
+	for _, c := range streamCorpora() {
+		t.Run(c.name, func(t *testing.T) {
+			full := c.build(t, func(o *Options) {})
+			pruned := c.build(t, func(o *Options) { o.TopKPrune = true })
+			anyRows := false
+			for _, kw := range c.queries {
+				vf, err := full.Query(kw)
+				if err != nil {
+					t.Fatalf("full query %q: %v", kw, err)
+				}
+				vp, err := pruned.Query(kw)
+				if err != nil {
+					t.Fatalf("pruned query %q: %v", kw, err)
+				}
+				mf, mp := vf.Current(), vp.Current()
+				if mf.Alpha != mp.Alpha {
+					t.Errorf("query %q: α diverged under pruning: %v vs %v", kw, mf.Alpha, mp.Alpha)
+				}
+				if len(mf.Trees) != len(mp.Trees) {
+					t.Fatalf("query %q: tree count diverged: %d vs %d", kw, len(mf.Trees), len(mp.Trees))
+				}
+				for i := range mf.Trees {
+					if mf.Trees[i].Key() != mp.Trees[i].Key() || mf.Trees[i].Cost != mp.Trees[i].Cost {
+						t.Errorf("query %q: tree %d diverged", kw, i)
+					}
+				}
+				if len(mf.Queries) != len(mp.Queries) {
+					t.Fatalf("query %q: branch count diverged", kw)
+				}
+				for i := range mf.Queries {
+					if mf.Queries[i].Signature() != mp.Queries[i].Signature() {
+						t.Errorf("query %q: branch %d signature diverged", kw, i)
+					}
+				}
+				if !reflect.DeepEqual(mf.Result.Columns, mp.Result.Columns) {
+					t.Errorf("query %q: unified columns diverged: %v vs %v", kw, mf.Result.Columns, mp.Result.Columns)
+				}
+				want := mf.Result.TopK(vf.K)
+				got := mp.Result.Rows
+				if len(got) != len(want) || (len(want) > 0 && !reflect.DeepEqual(got, want)) {
+					t.Errorf("query %q: pruned rows are not the full result's top-%d prefix\ngot:  %v\nwant: %v",
+						kw, vf.K, got, want)
+				}
+				if len(want) > 0 {
+					anyRows = true
+				}
+			}
+			if !anyRows {
+				t.Error("no query produced rows; prefix equivalence is vacuous")
+			}
+		})
+	}
+}

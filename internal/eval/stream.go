@@ -1,0 +1,181 @@
+package eval
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"time"
+
+	"qint/internal/datasets"
+	"qint/internal/relstore"
+)
+
+// StreamRow is one executor of the streaming-execution experiment: total
+// time and bytes allocated to run the join-shaped branch workload over the
+// 120-table synthetic catalog, plus the streamed union's early-termination
+// observability counters (zero for the executors that cannot skip).
+type StreamRow struct {
+	Executor   string // "materialised", "streaming", "topk-prune"
+	Branches   int
+	ExecTime   time.Duration
+	AllocBytes uint64
+	// Early-termination observability (topk-prune only): branches actually
+	// executed vs skipped as provably unbeatable, and base-table rows pulled
+	// through the pipelines vs the rows the full materialisation touches.
+	BranchesExecuted int
+	BranchesSkipped  int
+	RowsPulled       int64
+	RowsMaterialised int64
+}
+
+// streamWorkloadK is the top-k bound of the experiment's pruned run — small
+// against the workload's row volume, as in serving (a view keeps its k best
+// rows of hundreds materialised).
+const streamWorkloadK = 25
+
+// RunStream compares the materialised reference executor, the streaming
+// iterator pipeline and the top-k-pruned streamed union on one join-shaped
+// branch workload over the 120-table synthetic value catalog (the qbench
+// -exp stream experiment; Benchmark{Materialised,Streaming}QueryExec is the
+// bench counterpart). Before anything is timed, every branch's streaming
+// result is verified byte-identical to the materialised one and the pruned
+// union is verified equal to the full union's top-k prefix — the comparison
+// can never drift from the equivalence contract.
+func RunStream() ([]StreamRow, error) {
+	const nTables, rowsPer = 120, 200
+	tables, _ := datasets.SyntheticValueCorpus(nTables, rowsPer, 42)
+	cat := relstore.NewCatalogSharded(runtime.GOMAXPROCS(0))
+	for _, t := range tables {
+		if err := cat.AddTable(t); err != nil {
+			return nil, fmt.Errorf("eval: stream: %w", err)
+		}
+	}
+	queries := streamWorkload(cat)
+	prov := make([]string, len(queries))
+	for i, q := range queries {
+		prov[i] = q.Signature()
+	}
+
+	// Correctness gate: per-branch executor equivalence, then top-k-prefix
+	// equivalence of the pruned union.
+	var rowsMaterialised int64
+	branches := make([]relstore.Branch, len(queries))
+	for i, q := range queries {
+		want, err := relstore.ExecuteMaterialised(cat, q)
+		if err != nil {
+			return nil, fmt.Errorf("eval: stream: %w", err)
+		}
+		got, err := relstore.ExecuteStream(cat, q)
+		if err != nil {
+			return nil, fmt.Errorf("eval: stream: %w", err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			return nil, fmt.Errorf("eval: stream: executor divergence on branch %d (%s)", i, q.SQL())
+		}
+		branches[i] = relstore.Branch{Result: want, Cost: q.Cost, Provenance: prov[i]}
+		rowsMaterialised += branchRowsTouched(cat, q)
+	}
+	full := relstore.DisjointUnion(branches)
+	pruned, stats, err := relstore.ExecuteTopKUnion(cat, queries, streamWorkloadK, prov)
+	if err != nil {
+		return nil, fmt.Errorf("eval: stream: %w", err)
+	}
+	if want := full.TopK(streamWorkloadK); !reflect.DeepEqual(pruned.Rows, want) {
+		return nil, fmt.Errorf("eval: stream: pruned union is not the full union's top-%d prefix", streamWorkloadK)
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	rows := make([]StreamRow, 0, 3)
+
+	matCat := cat.Clone()
+	matCat.UseMaterialisedExec(true)
+	elapsed, alloc, err := timedAlloc(func() error {
+		_, err := relstore.ExecuteBatch(matCat, queries, workers)
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("eval: stream: %w", err)
+	}
+	rows = append(rows, StreamRow{Executor: "materialised", Branches: len(queries),
+		ExecTime: elapsed, AllocBytes: alloc, RowsMaterialised: rowsMaterialised})
+
+	elapsed, alloc, err = timedAlloc(func() error {
+		_, err := relstore.ExecuteBatch(cat, queries, workers)
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("eval: stream: %w", err)
+	}
+	rows = append(rows, StreamRow{Executor: "streaming", Branches: len(queries),
+		ExecTime: elapsed, AllocBytes: alloc, RowsMaterialised: rowsMaterialised})
+
+	elapsed, alloc, err = timedAlloc(func() error {
+		_, _, err := relstore.ExecuteTopKUnion(cat, queries, streamWorkloadK, prov)
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("eval: stream: %w", err)
+	}
+	rows = append(rows, StreamRow{Executor: "topk-prune", Branches: len(queries),
+		ExecTime: elapsed, AllocBytes: alloc,
+		BranchesExecuted: stats.BranchesExecuted, BranchesSkipped: stats.BranchesSkipped,
+		RowsPulled: stats.RowsPulled, RowsMaterialised: rowsMaterialised})
+	return rows, nil
+}
+
+// streamWorkload builds the join-shaped branch batch of the experiment: for
+// every adjacent table pair, an equi-join on name with a Contains selection
+// and two-column projection (the shape view materialisation produces for
+// two-atom Steiner trees), plus a single-atom selection branch per table.
+// Costs ascend with the branch index, as tree costs do, so the top-k-pruned
+// run has later branches to skip.
+func streamWorkload(cat *relstore.Catalog) []*relstore.ConjunctiveQuery {
+	names := cat.RelationNames()
+	queries := make([]*relstore.ConjunctiveQuery, 0, 2*len(names))
+	for i := 0; i+1 < len(names); i++ {
+		queries = append(queries, &relstore.ConjunctiveQuery{
+			Atoms: []relstore.Atom{{Relation: names[i], Alias: "t0"}, {Relation: names[i+1], Alias: "t1"}},
+			Joins: []relstore.JoinCond{{LeftAlias: "t0", LeftAttr: "name", RightAlias: "t1", RightAttr: "name"}},
+			Selects: []relstore.SelCond{
+				{Alias: "t0", Attr: "description", Op: relstore.OpContains, Value: "pro"}},
+			Project: []relstore.ProjCol{
+				{Alias: "t0", Attr: "acc", As: "acc"}, {Alias: "t1", Attr: "acc", As: "acc2"}},
+			Cost: float64(len(queries)),
+		})
+	}
+	for _, qn := range names {
+		queries = append(queries, &relstore.ConjunctiveQuery{
+			Atoms:   []relstore.Atom{{Relation: qn, Alias: "t0"}},
+			Selects: []relstore.SelCond{{Alias: "t0", Attr: "description", Op: relstore.OpContains, Value: "mem"}},
+			Project: []relstore.ProjCol{{Alias: "t0", Attr: "acc", As: "acc"}},
+			Cost:    float64(len(queries)),
+		})
+	}
+	return queries
+}
+
+// branchRowsTouched counts the base-table rows a full materialisation of the
+// branch touches — the denominator of the rows-pulled observability ratio.
+func branchRowsTouched(cat *relstore.Catalog, q *relstore.ConjunctiveQuery) int64 {
+	var n int64
+	for _, a := range q.Atoms {
+		if t := cat.Table(a.Relation); t != nil {
+			n += int64(len(t.Rows))
+		}
+	}
+	return n
+}
+
+// timedAlloc runs fn and reports its wall time and heap bytes allocated
+// (TotalAlloc delta across a pre/post ReadMemStats pair, after a GC to
+// settle the baseline).
+func timedAlloc(fn func() error) (time.Duration, uint64, error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	err := fn()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return elapsed, after.TotalAlloc - before.TotalAlloc, err
+}

@@ -76,6 +76,12 @@ type Catalog struct {
 	// implementation instead of the inverted index. Writer-side: set it
 	// before the catalog is shared with concurrent readers; Clone copies it.
 	scanFind bool
+
+	// matExec routes Execute through the reference materialise-everything
+	// executor instead of the streaming iterator pipeline. Writer-side: set
+	// it before the catalog is shared with concurrent readers; Clone copies
+	// it.
+	matExec bool
 }
 
 // valueCache holds one shard's lazily built per-attribute distinct-value
@@ -113,6 +119,7 @@ func (c *Catalog) Clone() *Catalog {
 		order:    append([]string(nil), c.order...),
 		par:      c.par,
 		scanFind: c.scanFind,
+		matExec:  c.matExec,
 	}
 }
 
@@ -120,6 +127,13 @@ func (c *Catalog) Clone() *Catalog {
 // (the default) and the reference full-scan implementation. Writer-side:
 // call it before sharing the catalog with concurrent readers.
 func (c *Catalog) UseScanFindValues(scan bool) { c.scanFind = scan }
+
+// UseMaterialisedExec switches Execute between the streaming iterator
+// pipeline (the default) and the reference materialise-everything executor
+// (ExecuteMaterialised), which is kept as the executable specification the
+// streaming path is verified against. Writer-side: call it before sharing
+// the catalog with concurrent readers.
+func (c *Catalog) UseMaterialisedExec(mat bool) { c.matExec = mat }
 
 // AddTable registers a table. Registering a second table under the same
 // qualified relation name is an error: sources are immutable once added.

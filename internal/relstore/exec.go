@@ -14,15 +14,31 @@ type ResultSet struct {
 	Rows    [][]string
 }
 
-// Execute evaluates a conjunctive query against the catalog using selection
-// push-down and hash joins. Atoms are joined in an order derived from the
-// query's join graph (connected traversal from the first atom); disconnected
-// atoms produce a cross product, as SQL semantics require.
-//
-// The executor materialises intermediate results; Q's queries are small
-// (Steiner trees over a handful of relations), so this is the right
-// simplicity/performance trade-off.
+// Execute evaluates a conjunctive query against the catalog. By default it
+// streams through the composed iterator pipeline of stream.go — scan with
+// pushed-down selections, pre-sized hash-join probes, similarity filters,
+// projection/dedup — so no intermediate relation is materialised;
+// UseMaterialisedExec(true) routes it through ExecuteMaterialised, the
+// reference implementation below. Both paths — and every shard count —
+// return byte-identical ResultSets (stream_test.go pins this).
 func Execute(c *Catalog, q *ConjunctiveQuery) (*ResultSet, error) {
+	if c.matExec {
+		return ExecuteMaterialised(c, q)
+	}
+	return ExecuteStream(c, q)
+}
+
+// ExecuteMaterialised evaluates a conjunctive query by materialising every
+// intermediate relation in full: selection push-down, then one hash or
+// nested-loop join per atom, each producing a complete intermediate row set,
+// then projection with set-semantics dedup. It is kept as the executable
+// specification the streaming executor is verified against (the metamorphic
+// suite in stream_test.go and the FuzzExecuteEquivalence target), and as the
+// implementation behind UseMaterialisedExec — the same pattern as
+// ScanFindValues. It shares the length-prefixed row-identity encoding with
+// the streaming path, so join keys and dedup keys are collision-free for
+// values containing NUL bytes, embedded spaces or empty strings.
+func ExecuteMaterialised(c *Catalog, q *ConjunctiveQuery) (*ResultSet, error) {
 	if err := q.Validate(c); err != nil {
 		return nil, err
 	}
@@ -33,7 +49,9 @@ func Execute(c *Catalog, q *ConjunctiveQuery) (*ResultSet, error) {
 		selByAlias[s.Alias] = append(selByAlias[s.Alias], s)
 	}
 
-	// Load and filter each atom's rows.
+	// Load and filter each atom's rows. Attribute indexes are resolved once
+	// per condition, before the row loop, and a missing attribute is an
+	// error, not an index-out-of-range panic.
 	type boundAtom struct {
 		alias string
 		rel   *Relation
@@ -44,17 +62,13 @@ func Execute(c *Catalog, q *ConjunctiveQuery) (*ResultSet, error) {
 		t := c.Table(a.Relation)
 		rows := t.Rows
 		if sels := selByAlias[a.Alias]; len(sels) > 0 {
+			bound, err := bindSels(t.Relation, sels)
+			if err != nil {
+				return nil, err
+			}
 			var kept [][]string
 			for _, row := range rows {
-				ok := true
-				for _, s := range sels {
-					ai := t.Relation.AttrIndex(s.Attr)
-					if !matchesSel(row[ai], s) {
-						ok = false
-						break
-					}
-				}
-				if ok {
+				if matchesBound(row, bound) {
 					kept = append(kept, row)
 				}
 			}
@@ -213,7 +227,9 @@ func Execute(c *Catalog, q *ConjunctiveQuery) (*ResultSet, error) {
 		for i, ci := range idx {
 			proj[i] = row[ci]
 		}
-		key := fmt.Sprint(proj)
+		// Length-prefixed identity key: fmt.Sprint collided distinct rows
+		// like ["a b","c"] and ["a","b c"] and silently dropped one.
+		key := rowKey(proj)
 		if _, dup := seen[key]; dup {
 			continue // set semantics on projected output
 		}
@@ -246,20 +262,24 @@ type simJoinPair struct {
 	threshold float64
 }
 
+// joinKeyLeft and joinKeyRight build the hash-join key from the two sides'
+// join-column values, length-prefixed: the old "\x00"-separator encoding
+// collided values containing NUL across column boundaries (["a\x00","b"] vs
+// ["a","\x00b"]) and emitted wrong matches.
 func joinKeyLeft(row []string, pairs []joinPair) string {
-	key := ""
+	var key []byte
 	for _, p := range pairs {
-		key += row[p.leftCol] + "\x00"
+		key = appendLenPrefixed(key, row[p.leftCol])
 	}
-	return key
+	return string(key)
 }
 
 func joinKeyRight(row []string, pairs []joinPair) string {
-	key := ""
+	var key []byte
 	for _, p := range pairs {
-		key += row[p.rightAttrIdx] + "\x00"
+		key = appendLenPrefixed(key, row[p.rightAttrIdx])
 	}
-	return key
+	return string(key)
 }
 
 func sortRows(rows [][]string) {

@@ -63,3 +63,81 @@ func FuzzFindValuesEquivalence(f *testing.F) {
 		}
 	})
 }
+
+// FuzzExecuteEquivalence fuzzes the executor-equivalence contract on the
+// value side: for ARBITRARY row values (NUL bytes, spaces, empty strings,
+// invalid utf-8 — whatever the fuzzer invents), the streaming pipeline must
+// stay deep-equal to the materialised reference executor on a two-table
+// equi-join + projection-dedup query, and ExecuteTopKUnion must equal the
+// full union's top-k prefix. This is the fuzz arm of the row-identity
+// regression tests: the old fmt.Sprint dedup key and "\x00"-separator join
+// keys are exactly the kind of encoding this target finds. CI runs it as a
+// short -fuzz smoke on every push.
+func FuzzExecuteEquivalence(f *testing.F) {
+	f.Add("a\x00", "b", "a")
+	f.Add("a b", "c", "a")
+	f.Add("", " ", "")
+	f.Add("x", "\x00x", "x\x00")
+	f.Fuzz(func(t *testing.T, a, b, c string) {
+		lrel := &Relation{Source: "l", Name: "r", Attributes: []Attribute{{Name: "x"}, {Name: "y"}}}
+		lt, err := NewTable(lrel, [][]string{{a, b}, {b, c}, {a + "\x00", "\x00" + b}, {c, c}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rrel := &Relation{Source: "r", Name: "r", Attributes: []Attribute{{Name: "x"}, {Name: "y"}}}
+		rt, err := NewTable(rrel, [][]string{{a, "\x00" + b}, {b, c}, {a + " ", b}, {c + "\x00", c}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cat := NewCatalogSharded(2)
+		if err := cat.AddTable(lt); err != nil {
+			t.Fatal(err)
+		}
+		if err := cat.AddTable(rt); err != nil {
+			t.Fatal(err)
+		}
+		join := &ConjunctiveQuery{
+			Atoms: []Atom{{Relation: "l.r", Alias: "t0"}, {Relation: "r.r", Alias: "t1"}},
+			Joins: []JoinCond{
+				{LeftAlias: "t0", LeftAttr: "x", RightAlias: "t1", RightAttr: "x"},
+				{LeftAlias: "t0", LeftAttr: "y", RightAlias: "t1", RightAttr: "y"},
+			},
+			Project: []ProjCol{{Alias: "t0", Attr: "x", As: "v"}, {Alias: "t1", Attr: "y", As: "w"}},
+			Cost:    1,
+		}
+		proj := &ConjunctiveQuery{
+			Atoms:   []Atom{{Relation: "l.r", Alias: "t0"}},
+			Project: []ProjCol{{Alias: "t0", Attr: "x", As: "v"}, {Alias: "t0", Attr: "y", As: "w"}},
+			Cost:    2,
+		}
+		queries := []*ConjunctiveQuery{join, proj}
+		prov := []string{"b0", "b1"}
+		branches := make([]Branch, len(queries))
+		for i, q := range queries {
+			want, err := ExecuteMaterialised(cat, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ExecuteStream(cat, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("executor divergence on %q/%q/%q query %d\nstreaming:    %v\nmaterialised: %v",
+					a, b, c, i, got, want)
+			}
+			branches[i] = Branch{Result: want, Cost: q.Cost, Provenance: prov[i]}
+		}
+		full := DisjointUnion(branches)
+		for _, k := range []int{1, 3, 50} {
+			got, _, err := ExecuteTopKUnion(cat, queries, k, prov)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := full.TopK(k)
+			if len(got.Rows) != len(want) || (len(want) > 0 && !reflect.DeepEqual(got.Rows, want)) {
+				t.Errorf("top-k union divergence on %q/%q/%q k=%d", a, b, c, k)
+			}
+		}
+	})
+}

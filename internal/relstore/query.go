@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-
-	"qint/internal/text"
 )
 
 // Atom is one relation occurrence in a conjunctive query, bound to an alias.
@@ -206,14 +204,4 @@ func (q *ConjunctiveQuery) Signature() string {
 	}
 	sort.Strings(sels)
 	return strings.Join(rels, "|") + "//" + strings.Join(joins, "|") + "//" + strings.Join(sels, "|")
-}
-
-// matchesSel reports whether a value satisfies a selection condition.
-func matchesSel(v string, s SelCond) bool {
-	switch s.Op {
-	case OpContains:
-		return strings.Contains(text.Normalize(v), text.Normalize(s.Value))
-	default:
-		return v == s.Value
-	}
 }

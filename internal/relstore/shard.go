@@ -209,8 +209,13 @@ func (c *Catalog) OverlappingAttrPairs(a, b *Relation) map[[2]AttrRef]bool {
 // ExecuteBatch executes a batch of conjunctive queries — the branches of one
 // view materialisation — across at most workers goroutines, collecting
 // results by query index so the output order matches a serial loop exactly.
-// Every query executes at every worker count; the returned error is the one
-// the lowest-indexed failing query produced, matching serial semantics.
+// Each query runs through Execute's dispatch: the streaming iterator
+// pipeline by default (no intermediate relation is materialised per branch),
+// or the reference materialised executor under UseMaterialisedExec — results
+// are byte-identical either way, at every worker and shard count. Every
+// query executes at every worker count; the returned error is the one the
+// lowest-indexed failing query produced, matching serial semantics. For the
+// top-k-bounded variant that can skip whole branches, see ExecuteTopKUnion.
 func ExecuteBatch(c *Catalog, queries []*ConjunctiveQuery, workers int) ([]*ResultSet, error) {
 	results := make([]*ResultSet, len(queries))
 	errs := make([]error, len(queries))

@@ -1,0 +1,668 @@
+package relstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"qint/internal/text"
+)
+
+// This file is the streaming branch executor: the Volcano-style iterator
+// pipeline that replaced the materialise-everything evaluation of exec.go as
+// the default execution path. A conjunctive query compiles into a small
+// chain of pull-based operators — table scan with pushed-down selections →
+// hash-join probe (build side pre-sized, built from the joined-in atom's
+// filtered rows) or nested-loop for similarity/cross joins → projection with
+// set-semantics deduplication — and rows flow through ONE shared row buffer,
+// so no intermediate relation is ever allocated: the only per-row
+// allocations are the projected output tuples that survive deduplication.
+//
+// Execute dispatches here by default; ExecuteMaterialised (exec.go) survives
+// as the executable specification, and the metamorphic suite in
+// stream_test.go pins the two byte-identical on randomised catalogs, join
+// shapes and shard counts. Tuple identity is collision-proof in both paths:
+// the materialised executor keys joins and dedup by the length-prefixed
+// encoding below (which values containing NUL bytes, embedded spaces or
+// empty strings cannot forge — the exec.go row-identity bugs this refactor
+// fixed), and the streaming operators go one step further, bucketing by
+// value hash and verifying every bucket hit against the values themselves,
+// so no identity ever rides on an encoding at all.
+
+// appendLenPrefixed appends a length-prefixed encoding of vals to dst and
+// returns the extended slice. Each value is encoded as uvarint(len) ‖ bytes,
+// which is prefix-free per field: no choice of values can make two distinct
+// tuples encode identically, unlike separator-based encodings (a "\x00"
+// separator collides on values containing NUL; fmt.Sprint collides on
+// embedded spaces). This is the row-identity encoding used by BOTH executors
+// for hash-join keys and projection-dedup keys.
+func appendLenPrefixed(dst []byte, vals ...string) []byte {
+	for _, v := range vals {
+		dst = binary.AppendUvarint(dst, uint64(len(v)))
+		dst = append(dst, v...)
+	}
+	return dst
+}
+
+// rowKey returns the length-prefixed identity key of a full tuple.
+func rowKey(vals []string) string { return string(appendLenPrefixed(nil, vals...)) }
+
+// The streaming operators avoid even the length-prefixed key allocations:
+// they bucket by a 64-bit FNV-1a hash of the length-delimited values and
+// verify every bucket hit by comparing the actual values, so tuple identity
+// never depends on an encoding at all — a hash collision costs one string
+// comparison, never a wrong answer.
+
+const (
+	fnvOffset64 = 14695981039433928325
+	fnvPrime64  = 1099511628211
+)
+
+// valHash extends a running FNV-1a hash with one length-delimited value.
+func valHash(h uint64, v string) uint64 {
+	n := len(v)
+	for n > 0 {
+		h ^= uint64(n & 0xff)
+		h *= fnvPrime64
+		n >>= 8
+	}
+	h ^= 0xff // length terminator
+	h *= fnvPrime64
+	for i := 0; i < len(v); i++ {
+		h ^= uint64(v[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// boundSel is a selection condition with its attribute index resolved once
+// at plan time — the per-row AttrIndex lookups of the old executor hoisted
+// out of the row loop.
+type boundSel struct {
+	attrIdx int
+	op      SelOp
+	value   string
+	norm    string // normalised literal, precomputed for OpContains
+}
+
+func (s boundSel) matches(row []string) bool {
+	switch s.op {
+	case OpContains:
+		return strings.Contains(text.Normalize(row[s.attrIdx]), s.norm)
+	default:
+		return row[s.attrIdx] == s.value
+	}
+}
+
+// bindSels resolves a relation's selection conditions to attribute indexes,
+// returning a proper error (not an index-out-of-range panic) when an
+// attribute is missing.
+func bindSels(rel *Relation, sels []SelCond) ([]boundSel, error) {
+	if len(sels) == 0 {
+		return nil, nil
+	}
+	out := make([]boundSel, len(sels))
+	for i, s := range sels {
+		ai := rel.AttrIndex(s.Attr)
+		if ai < 0 {
+			return nil, fmt.Errorf("relstore: relation %s has no attribute %q", rel.QualifiedName(), s.Attr)
+		}
+		out[i] = boundSel{attrIdx: ai, op: s.Op, value: s.Value}
+		if s.Op == OpContains {
+			out[i].norm = text.Normalize(s.Value)
+		}
+	}
+	return out, nil
+}
+
+// rowIter is the streaming operator interface. Next advances the pipeline by
+// one row, writing this operator's columns into its segment of the plan's
+// shared row buffer, and reports whether a row was produced. Iteration is
+// infallible: every fallible step (attribute resolution, validation) runs at
+// plan time in BuildStream.
+type rowIter interface {
+	Next() bool
+}
+
+// scanIter streams one atom's table with its pushed-down selections applied,
+// writing surviving rows into its buffer segment. It is the pipeline source:
+// no filtered copy of the table is ever materialised.
+type scanIter struct {
+	rows    [][]string
+	sels    []boundSel
+	buf     []string // this atom's segment of the shared row buffer
+	pos     int
+	scanned *int64 // plan-wide count of base rows pulled
+}
+
+func (it *scanIter) Next() bool {
+	for it.pos < len(it.rows) {
+		row := it.rows[it.pos]
+		it.pos++
+		*it.scanned++
+		if matchesBound(row, it.sels) {
+			copy(it.buf, row)
+			return true
+		}
+	}
+	return false
+}
+
+func matchesBound(row []string, sels []boundSel) bool {
+	for _, s := range sels {
+		if !s.matches(row) {
+			return false
+		}
+	}
+	return true
+}
+
+// hashJoinIter joins one atom into the rows streaming from its left input:
+// the atom's filtered rows form a pre-sized build table bucketed by the hash
+// of the equi-join values, and each left row probes it. Build rows are
+// stored by reference (slices into the immutable table) and no key bytes
+// are ever materialised — bucket hits are verified by comparing the join
+// values themselves. Similarity conditions filter the verified matches;
+// matching rows are written into the atom's buffer segment.
+type hashJoinIter struct {
+	left     rowIter
+	build    hashJoinBuild
+	pairs    []joinPair    // leftCol indexes the shared buffer; rightAttrIdx the build row
+	simPairs []simJoinPair // ditto
+	buf      []string      // full shared buffer (probes read left columns)
+	seg      []string      // this atom's segment of buf
+	match    int32         // current chain position in build (0 = exhausted)
+}
+
+// hashJoinBuild is the build side of a streaming hash join: the atom's
+// filtered rows (by reference), hash-chained through two flat arrays —
+// head maps a join-value hash to its bucket's first row (1-based), next
+// links the rest. Three allocations total, regardless of bucket shape.
+type hashJoinBuild struct {
+	rows [][]string
+	head map[uint64]int32
+	next []int32
+}
+
+// newHashJoinBuild builds the chained hash table over the atom's filtered
+// rows. Selections are applied while building, so the probe side never sees
+// a row the push-down would have dropped.
+func newHashJoinBuild(rows [][]string, sels []boundSel, pairs []joinPair, scanned *int64) hashJoinBuild {
+	b := hashJoinBuild{
+		head: make(map[uint64]int32, len(rows)),
+		rows: make([][]string, 0, len(rows)),
+		next: make([]int32, 0, len(rows)),
+	}
+	for _, row := range rows {
+		*scanned++
+		if !matchesBound(row, sels) {
+			continue
+		}
+		h := uint64(fnvOffset64)
+		for _, p := range pairs {
+			h = valHash(h, row[p.rightAttrIdx])
+		}
+		b.rows = append(b.rows, row)
+		b.next = append(b.next, b.head[h])
+		b.head[h] = int32(len(b.rows)) // 1-based
+	}
+	return b
+}
+
+// pairsEqual verifies a hash-bucket candidate: every equi-join pair must
+// match on the actual values.
+func pairsEqual(buf, row []string, pairs []joinPair) bool {
+	for _, p := range pairs {
+		if buf[p.leftCol] != row[p.rightAttrIdx] {
+			return false
+		}
+	}
+	return true
+}
+
+func (it *hashJoinIter) Next() bool {
+	for {
+		for it.match != 0 {
+			m := it.build.rows[it.match-1]
+			it.match = it.build.next[it.match-1]
+			if pairsEqual(it.buf, m, it.pairs) && simPairsOK(it.buf, m, it.simPairs) {
+				copy(it.seg, m)
+				return true
+			}
+		}
+		if !it.left.Next() {
+			return false
+		}
+		h := uint64(fnvOffset64)
+		for _, p := range it.pairs {
+			h = valHash(h, it.buf[p.leftCol])
+		}
+		it.match = it.build.head[h]
+	}
+}
+
+// nestedLoopIter joins an atom with no equi-join condition: a pure
+// similarity join, or the cross product SQL semantics require for a
+// disconnected atom. The atom's filtered rows are collected once (by
+// reference); each left row streams across them.
+type nestedLoopIter struct {
+	left     rowIter
+	rows     [][]string // filtered right rows, by reference
+	simPairs []simJoinPair
+	buf      []string
+	seg      []string
+	ri       int
+	started  bool
+}
+
+func (it *nestedLoopIter) Next() bool {
+	for {
+		if !it.started {
+			if !it.left.Next() {
+				return false
+			}
+			it.started = true
+			it.ri = 0
+		}
+		for it.ri < len(it.rows) {
+			m := it.rows[it.ri]
+			it.ri++
+			if simPairsOK(it.buf, m, it.simPairs) {
+				copy(it.seg, m)
+				return true
+			}
+		}
+		it.started = false
+	}
+}
+
+func simPairsOK(buf, row []string, simPairs []simJoinPair) bool {
+	for _, p := range simPairs {
+		if text.TrigramSimilarity(
+			text.Normalize(buf[p.leftCol]),
+			text.Normalize(row[p.rightAttrIdx])) < p.threshold {
+			return false
+		}
+	}
+	return true
+}
+
+// StreamStats counts the work one stream performed, for the early-termination
+// accounting of the top-k union (rows pulled vs rows a full materialisation
+// would touch) and for qbench -exp stream.
+type StreamStats struct {
+	// RowsScanned is the number of base-table rows pulled by scans and
+	// hash-join builds.
+	RowsScanned int64
+	// RowsPulled is the number of joined rows the projection pulled from the
+	// pipeline (pre-deduplication).
+	RowsPulled int64
+	// RowsEmitted is the number of deduplicated projected rows emitted.
+	RowsEmitted int64
+}
+
+// Stream is a compiled conjunctive query: a pull-based pipeline yielding the
+// query's deduplicated projected rows one at a time. Rows stream in pipeline
+// order (NOT the canonical sorted order of a ResultSet — Drain sorts); each
+// returned slice is freshly allocated and owned by the caller. A Stream is
+// single-use and not safe for concurrent use.
+type Stream struct {
+	cols []string
+	root rowIter
+	buf  []string
+	proj []int // shared-buffer column index per output column
+	// Set-semantics dedup without key allocation: emitted rows bucketed by
+	// value hash (seen maps a hash to its bucket's most recent row, 1-based;
+	// dupNext chains the older ones), bucket hits verified by comparing the
+	// projected values.
+	seen    map[uint64]int32
+	dupNext []int32
+	emitted [][]string
+	stats   StreamStats
+}
+
+// Columns returns the output column labels (the query's projection list).
+func (s *Stream) Columns() []string { return s.cols }
+
+// Stats returns the work counters accumulated so far.
+func (s *Stream) Stats() StreamStats { return s.stats }
+
+// Next returns the next deduplicated projected row, or ok=false at end of
+// stream.
+func (s *Stream) Next() ([]string, bool) {
+	for s.root.Next() {
+		s.stats.RowsPulled++
+		h := uint64(fnvOffset64)
+		for _, ci := range s.proj {
+			h = valHash(h, s.buf[ci])
+		}
+		if s.dupAt(h) {
+			continue
+		}
+		proj := make([]string, len(s.proj))
+		for i, ci := range s.proj {
+			proj[i] = s.buf[ci]
+		}
+		s.dupNext = append(s.dupNext, s.seen[h])
+		s.emitted = append(s.emitted, proj)
+		s.seen[h] = int32(len(s.emitted)) // 1-based
+		s.stats.RowsEmitted++
+		return proj, true
+	}
+	return nil, false
+}
+
+// dupAt reports whether the projected values currently in the shared buffer
+// equal an already-emitted row in hash bucket h.
+func (s *Stream) dupAt(h uint64) bool {
+	for at := s.seen[h]; at != 0; at = s.dupNext[at-1] {
+		prev := s.emitted[at-1]
+		same := true
+		for i, ci := range s.proj {
+			if prev[i] != s.buf[ci] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}
+
+// Drain pulls the stream to exhaustion and returns the canonical ResultSet
+// (rows in sorted order, set semantics) — byte-identical to
+// ExecuteMaterialised on the same query.
+func (s *Stream) Drain() *ResultSet {
+	out := &ResultSet{Columns: s.cols}
+	for {
+		row, ok := s.Next()
+		if !ok {
+			break
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	sortRows(out.Rows)
+	return out
+}
+
+// BuildStream validates and compiles a conjunctive query into a streaming
+// pipeline over the catalog. All attribute resolution happens here, so a
+// malformed query is an error at plan time, never a panic mid-iteration.
+func BuildStream(c *Catalog, q *ConjunctiveQuery) (*Stream, error) {
+	if err := q.Validate(c); err != nil {
+		return nil, err
+	}
+
+	selByAlias := make(map[string][]SelCond)
+	for _, s := range q.Selects {
+		selByAlias[s.Alias] = append(selByAlias[s.Alias], s)
+	}
+
+	type boundAtom struct {
+		alias string
+		rel   *Relation
+		rows  [][]string
+		sels  []boundSel
+	}
+	atoms := make([]boundAtom, len(q.Atoms))
+	for i, a := range q.Atoms {
+		t := c.Table(a.Relation)
+		sels, err := bindSels(t.Relation, selByAlias[a.Alias])
+		if err != nil {
+			return nil, err
+		}
+		atoms[i] = boundAtom{alias: a.Alias, rel: t.Relation, rows: t.Rows, sels: sels}
+	}
+
+	// Join order: identical traversal to the materialised spec — connected
+	// atoms first (lowest index), cross product for disconnected components.
+	joined := map[string]bool{atoms[0].alias: true}
+	order := []int{0}
+	remaining := make(map[int]bool)
+	for i := 1; i < len(atoms); i++ {
+		remaining[i] = true
+	}
+	for len(remaining) > 0 {
+		next := -1
+		for i := range remaining {
+			if connectsTo(q.Joins, atoms[i].alias, joined) {
+				if next == -1 || i < next {
+					next = i
+				}
+			}
+		}
+		if next == -1 {
+			for i := range remaining {
+				if next == -1 || i < next {
+					next = i
+				}
+			}
+		}
+		order = append(order, next)
+		joined[atoms[next].alias] = true
+		delete(remaining, next)
+	}
+
+	// One shared row buffer spans every atom's columns in join order.
+	colOf := make(map[string]int)
+	width := 0
+	segOf := make([]int, len(atoms)) // atom index -> buffer offset
+	for _, oi := range order {
+		a := atoms[oi]
+		segOf[oi] = width
+		for _, attr := range a.rel.Attributes {
+			colOf[a.alias+"."+attr.Name] = width
+			width++
+		}
+	}
+	buf := make([]string, width)
+
+	st := &Stream{buf: buf}
+	first := atoms[order[0]]
+	var root rowIter = &scanIter{
+		rows:    first.rows,
+		sels:    first.sels,
+		buf:     buf[:len(first.rel.Attributes)],
+		scanned: &st.stats.RowsScanned,
+	}
+
+	for _, oi := range order[1:] {
+		a := atoms[oi]
+		var pairs []joinPair
+		var simPairs []simJoinPair
+		for _, j := range q.Joins {
+			var lc, ri int
+			var ok bool
+			if j.LeftAlias == a.alias {
+				lc, ok = colOf[j.RightAlias+"."+j.RightAttr]
+				ri = a.rel.AttrIndex(j.LeftAttr)
+			} else if j.RightAlias == a.alias {
+				lc, ok = colOf[j.LeftAlias+"."+j.LeftAttr]
+				ri = a.rel.AttrIndex(j.RightAttr)
+			} else {
+				continue
+			}
+			// The other endpoint is bound later in join order: the condition
+			// applies when THAT atom joins in.
+			if !ok || lc >= segOf[oi] {
+				continue
+			}
+			if j.Op == JoinSimilar {
+				simPairs = append(simPairs, simJoinPair{
+					joinPair:  joinPair{leftCol: lc, rightAttrIdx: ri},
+					threshold: j.Threshold,
+				})
+			} else {
+				pairs = append(pairs, joinPair{leftCol: lc, rightAttrIdx: ri})
+			}
+		}
+		seg := buf[segOf[oi] : segOf[oi]+len(a.rel.Attributes)]
+		if len(pairs) > 0 {
+			root = &hashJoinIter{
+				left:     root,
+				build:    newHashJoinBuild(a.rows, a.sels, pairs, &st.stats.RowsScanned),
+				pairs:    pairs,
+				simPairs: simPairs,
+				buf:      buf,
+				seg:      seg,
+			}
+		} else {
+			var kept [][]string
+			for _, row := range a.rows {
+				st.stats.RowsScanned++
+				if matchesBound(row, a.sels) {
+					kept = append(kept, row)
+				}
+			}
+			root = &nestedLoopIter{
+				left:     root,
+				rows:     kept,
+				simPairs: simPairs,
+				buf:      buf,
+				seg:      seg,
+			}
+		}
+	}
+
+	cols := make([]string, len(q.Project))
+	proj := make([]int, len(q.Project))
+	for i, p := range q.Project {
+		cols[i] = p.As
+		ci, ok := colOf[p.Alias+"."+p.Attr]
+		if !ok {
+			return nil, fmt.Errorf("relstore: projection %s.%s not bound", p.Alias, p.Attr)
+		}
+		proj[i] = ci
+	}
+	st.cols = cols
+	st.root = root
+	st.proj = proj
+	st.seen = make(map[uint64]int32)
+	return st, nil
+}
+
+// ExecuteStream evaluates a conjunctive query through the streaming iterator
+// pipeline and returns the canonical ResultSet — byte-identical to
+// ExecuteMaterialised (the metamorphic suite in stream_test.go and the
+// FuzzExecuteEquivalence target pin this).
+func ExecuteStream(c *Catalog, q *ConjunctiveQuery) (*ResultSet, error) {
+	st, err := BuildStream(c, q)
+	if err != nil {
+		return nil, err
+	}
+	return st.Drain(), nil
+}
+
+// TopKUnionStats counts the work of one ExecuteTopKUnion call, making the
+// early termination observable: RowsPulled < the rows a full
+// materialisation of every branch would pull whenever branches were skipped.
+type TopKUnionStats struct {
+	// BranchesExecuted and BranchesSkipped partition the batch: a branch is
+	// skipped when k already-collected rows provably outrank every row it
+	// could produce (rank is (cost asc, branch asc), and all of one branch's
+	// rows share its cost).
+	BranchesExecuted int
+	BranchesSkipped  int
+	// RowsScanned / RowsPulled / RowsEmitted aggregate the executed
+	// branches' StreamStats.
+	RowsScanned int64
+	RowsPulled  int64
+	RowsEmitted int64
+}
+
+// ExecuteTopKUnion executes a view's branch queries — in the caller's order,
+// which core produces ascending by tree cost — streaming each branch's rows
+// into the ranked disjoint union, and STOPS pulling a branch entirely once
+// the running top-k bound is provably unbeatable for it: every row of branch
+// i carries cost queries[i].Cost and loses ties to earlier branches, so once
+// k rows with cost ≤ that bound exist, branch i cannot contribute and is
+// never executed. The returned union holds exactly the top k rows (fewer if
+// the branches yield fewer) and is byte-identical to
+// DisjointUnion(all branches).TopK(k); the unified column list still spans
+// every branch's projection (skipped branches' columns are known from their
+// queries without executing them).
+//
+// Branch provenance labels follow queries' signatures, matching what core
+// records on a full materialisation.
+func ExecuteTopKUnion(c *Catalog, queries []*ConjunctiveQuery, k int, provenance []string) (*UnionResult, TopKUnionStats, error) {
+	var stats TopKUnionStats
+	out := &UnionResult{}
+	colIdx := make(map[string]int)
+	for _, q := range queries {
+		for _, p := range q.Project {
+			if _, ok := colIdx[p.As]; !ok {
+				colIdx[p.As] = len(out.Columns)
+				out.Columns = append(out.Columns, p.As)
+			}
+		}
+	}
+
+	// rows collected so far, each branch's slice pre-sorted and truncated to
+	// k (rows beyond the k-th of one branch can never be in the union's top
+	// k: they tie on (cost, branch) and lose on row order).
+	var rows []UnionRow
+	atOrBelow := func(cost float64) int {
+		n := 0
+		for _, r := range rows {
+			if r.Cost <= cost {
+				n++
+			}
+		}
+		return n
+	}
+	for bi, q := range queries {
+		if k > 0 && atOrBelow(q.Cost) >= k {
+			stats.BranchesSkipped++
+			continue
+		}
+		st, err := BuildStream(c, q)
+		if err != nil {
+			return nil, stats, err
+		}
+		rs := st.Drain()
+		ss := st.Stats()
+		stats.BranchesExecuted++
+		stats.RowsScanned += ss.RowsScanned
+		stats.RowsPulled += ss.RowsPulled
+		stats.RowsEmitted += ss.RowsEmitted
+
+		mapping := make([]int, len(rs.Columns))
+		for i, col := range rs.Columns {
+			mapping[i] = colIdx[col]
+		}
+		prov := ""
+		if bi < len(provenance) {
+			prov = provenance[bi]
+		}
+		branchRows := rs.Rows
+		if k > 0 && len(branchRows) > k {
+			branchRows = branchRows[:k]
+		}
+		for _, row := range branchRows {
+			u := UnionRow{
+				Values:     make([]string, len(out.Columns)),
+				Cost:       q.Cost,
+				Branch:     bi,
+				Provenance: prov,
+			}
+			for i, v := range row {
+				u.Values[mapping[i]] = v
+			}
+			rows = append(rows, u)
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Cost != rows[j].Cost {
+			return rows[i].Cost < rows[j].Cost
+		}
+		return rows[i].Branch < rows[j].Branch
+	})
+	if k > 0 && len(rows) > k {
+		rows = rows[:k]
+	}
+	out.Rows = rows
+	return out, stats, nil
+}

@@ -17,6 +17,9 @@ import (
 // into single spaces. Schema labels such as "entry_ac", "entry-AC" and
 // "Entry AC" all normalise to "entry ac".
 func Normalize(s string) string {
+	if isNormalized(s) {
+		return s
+	}
 	var b strings.Builder
 	b.Grow(len(s))
 	prevSpace := true
@@ -33,6 +36,31 @@ func Normalize(s string) string {
 		}
 	}
 	return strings.TrimSpace(b.String())
+}
+
+// isNormalized reports whether s is already in normal form — ASCII
+// lower-case letters and digits separated by single interior spaces — so
+// Normalize can return it without allocating. Data values on the executor
+// hot path (selection push-down checks every scanned row) are usually
+// already normal, and anything uncertain (uppercase, punctuation,
+// non-ASCII) falls through to the general path.
+func isNormalized(s string) bool {
+	prevSpace := true // doubles as the no-leading-space check
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= '0' && c <= '9':
+			prevSpace = false
+		case c == ' ':
+			if prevSpace {
+				return false
+			}
+			prevSpace = true
+		default:
+			return false
+		}
+	}
+	return !prevSpace || s == ""
 }
 
 // Tokenize splits s into normalised word tokens. CamelCase boundaries are

@@ -4,16 +4,30 @@
 // and feedback over JSON.
 //
 //	qserver -addr :8080 -dataset interprogo
+//	qserver -addr :8080 -data /var/lib/qint    # durable: survives restarts
 //
 //	curl -X POST localhost:8080/query -d '{"q":"'"'"'GO:0001000'"'"' '"'"'fam_0'"'"'"}'
 //	curl localhost:8080/views
 //	curl -X POST localhost:8080/sources -d @newsource.json
+//
+// With -data, the server opens the durable store in that directory: on a
+// restart it maps the newest generation snapshot, replays the WAL tail, and
+// skips the initial dataset load if the catalog already has relations.
+// Every registration and feedback update is fsync'd to the WAL before its
+// result is visible to queries; SIGINT/SIGTERM triggers a clean shutdown
+// with a final checkpoint.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"qint/internal/core"
 	"qint/internal/datasets"
@@ -25,34 +39,77 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	dataset := flag.String("dataset", "interprogo", "initial corpus: interprogo, gbco or empty")
+	dataDir := flag.String("data", "", "durable storage directory (empty = in-memory)")
 	flag.Parse()
 
-	q := core.New(core.DefaultOptions())
+	opts := core.DefaultOptions()
+	var q *core.Q
+	var err error
+	if *dataDir != "" {
+		opts.DataDir = *dataDir
+		q, err = core.Open(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		q = core.New(opts)
+	}
+	// Matchers are code, not state: (re-)register them after Open.
 	q.AddMatcher(meta.New())
 	q.AddMatcher(mad.New())
 
-	switch *dataset {
-	case "interprogo":
-		c := datasets.InterProGO()
-		if err := q.AddTables(c.Tables...); err != nil {
-			log.Fatal(err)
+	if q.Catalog.NumRelations() > 0 {
+		// The durable store already holds a catalog; do not re-load the
+		// bootstrap dataset on top of it.
+		log.Printf("recovered instance from %s (%d relations, %d attributes, %d views, epoch %d)",
+			*dataDir, q.Catalog.NumRelations(), q.Catalog.NumAttributes(), len(q.Views()), q.WALEpoch())
+	} else {
+		switch *dataset {
+		case "interprogo":
+			c := datasets.InterProGO()
+			if err := q.AddTables(c.Tables...); err != nil {
+				log.Fatal(err)
+			}
+			q.AlignAllPairs()
+			log.Printf("loaded InterPro-GO (%d relations, %d attributes)",
+				q.Catalog.NumRelations(), q.Catalog.NumAttributes())
+		case "gbco":
+			c := datasets.GBCO()
+			if err := q.AddTables(c.Tables...); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("loaded GBCO (%d relations, %d attributes)",
+				q.Catalog.NumRelations(), q.Catalog.NumAttributes())
+		case "empty":
+			log.Printf("starting with an empty catalog; POST /sources to register data")
+		default:
+			log.Fatalf("unknown dataset %q", *dataset)
 		}
-		q.AlignAllPairs()
-		log.Printf("loaded InterPro-GO (%d relations, %d attributes)",
-			q.Catalog.NumRelations(), q.Catalog.NumAttributes())
-	case "gbco":
-		c := datasets.GBCO()
-		if err := q.AddTables(c.Tables...); err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("loaded GBCO (%d relations, %d attributes)",
-			q.Catalog.NumRelations(), q.Catalog.NumAttributes())
-	case "empty":
-		log.Printf("starting with an empty catalog; POST /sources to register data")
-	default:
-		log.Fatalf("unknown dataset %q", *dataset)
 	}
 
+	srv := &http.Server{Addr: *addr, Handler: server.New(q)}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+		// Final checkpoint: folds the WAL so the next start is a pure
+		// snapshot load. A no-op for in-memory instances.
+		if err := q.Close(); err != nil {
+			log.Printf("close: %v", err)
+		}
+	}()
+
 	log.Printf("Q registration service listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, server.New(q)))
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
 }

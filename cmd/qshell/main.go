@@ -36,6 +36,7 @@ import (
 	"qint/internal/matcher/mad"
 	"qint/internal/matcher/meta"
 	"qint/internal/relstore"
+	"qint/internal/storage"
 )
 
 func main() {
@@ -210,14 +211,9 @@ func main() {
 				fmt.Println("usage: save <file>")
 				continue
 			}
-			f, err := os.Create(rest)
-			if err != nil {
-				fmt.Println("error:", err)
-				continue
-			}
-			err = q.Save(f)
-			f.Close()
-			if err != nil {
+			// Atomic save: an os.Create here would truncate the previous
+			// snapshot before writing, so a crash mid-save destroys it.
+			if err := storage.WriteFileAtomic(rest, q.Save); err != nil {
 				fmt.Println("error:", err)
 				continue
 			}

@@ -185,6 +185,41 @@
 // Zipfian repeated-query workload (CI runs the trio once per push);
 // cmd/qbench -exp cache prints the hit-rate/latency sweep across skews.
 //
+// # Durable storage
+//
+// The same immutable epoch-stamped generations persist to disk
+// (internal/storage, wired by core.Options.DataDir / core.Open): the data
+// directory holds a MANIFEST naming the current generation — one snapshot
+// (gen-<epoch>.snap) plus one epoch WAL (wal-<epoch>.log) — and recovery is
+// storage.Open mapping the newest valid manifest generation and replaying
+// the WAL tail. The snapshot is a binary offset-indexed section container
+// (per-section and index CRCs, magic-framed) carrying the catalog, the
+// built inverted value-index segments VERBATIM, the search graph with its
+// learned weights, and the persistent view definitions; loading is a read
+// plus slice re-pointing, not a re-index — BenchmarkColdStart{Rebuild,
+// MapReplay} quantifies the gap on the 120-table synthetic catalog (CI
+// runs the pair once per push).
+//
+// Durability is log-then-publish: every mutation (AddTables,
+// RegisterSource, hand-coded associations, AlignAllPairs, feedback) is
+// appended to the WAL as one length-prefixed, CRC-checked, epoch-stamped
+// record and fsync'd BEFORE the writer publishes the new generation to
+// readers, so any state a query could ever observe is already durable. The
+// log carries mutation EFFECTS, not operations — a registration record
+// holds the new tables plus each created association edge's final merged
+// feature vector, feedback holds the weight-vector delta — so replay needs
+// no matchers (they are code, re-registered after Open) and no MIRA, and
+// reproduces the builder state exactly
+// (internal/core/durable_test.go pins restart ≡ rebuild byte-for-byte).
+// Snapshots publish by write-temp → fsync → atomic-rename, the manifest is
+// replaced only after the files it names are durable, and recovery
+// truncates a torn final WAL record: crash injection at every byte
+// boundary (internal/storage/storage_test.go, TestDurableCrashInjection)
+// lands on exactly the last committed epoch. A background checkpointer
+// folds the WAL into a fresh snapshot past Options.CheckpointWALBytes;
+// Close checkpoints once more so a clean restart is a pure snapshot load.
+// cmd/qserver -data serves a durable instance and recovers it on restart.
+//
 // The HTTP layer (internal/server) inherits the model directly: POST
 // /query is a pure read and takes no server lock (a long registration
 // never blocks it — Benchmark{Locked,Snapshot}ContendedQuery quantifies

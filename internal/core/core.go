@@ -134,6 +134,20 @@ type Options struct {
 	// knob trades memory for repeated-query latency. 0 means the default;
 	// negative disables just this cache.
 	MaterializationCacheEntries int
+	// DataDir, when set, makes the instance durable: core.Open maps the
+	// newest generation snapshot in the directory and replays the epoch WAL
+	// tail, and every subsequent mutation is fsync'd to the WAL before its
+	// state generation is published (log-then-publish). Empty means fully
+	// in-memory (core.New semantics). See internal/storage for the on-disk
+	// layout and doc.go for the durability contract.
+	DataDir string
+	// CheckpointWALBytes is the WAL size at which the background
+	// checkpointer folds the log into a fresh generation snapshot
+	// (write-temp → fsync → rename, then a new empty WAL). 0 means the
+	// default (1 MiB); negative disables background checkpointing entirely —
+	// only explicit Checkpoint/Close calls fold the log. Ignored without
+	// DataDir.
+	CheckpointWALBytes int64
 }
 
 // DefaultOptions returns the settings used throughout the paper's
@@ -308,6 +322,11 @@ type Q struct {
 	// called inside the singleflight'd materialisation compute — the
 	// coalescing test parks the leader here while counting waiters.
 	matComputeHook func()
+
+	// persist is the durable-storage attachment (nil for in-memory
+	// instances). Set once by Open before the Q is shared; its store is
+	// accessed under writerMu thereafter. See durable.go.
+	persist *persistence
 }
 
 // New constructs an empty Q system with the given options and the default
@@ -497,6 +516,11 @@ func (q *Q) AddTables(tables ...*relstore.Table) error {
 	if err := q.addTablesLocked(tables...); err != nil {
 		return err
 	}
+	// Log-then-publish: the record must be durable before any query can
+	// observe the new tables.
+	if err := q.logMutationLocked(walKindAddTables, walRegister{Tables: wireTables(tables)}); err != nil {
+		return err
+	}
 	q.publishLocked()
 	return nil
 }
@@ -585,7 +609,14 @@ func (q *Q) DropView(v *View) {
 func (q *Q) AddHandCodedAssociation(a, b relstore.AttrRef) {
 	q.writerMu.Lock()
 	defer q.writerMu.Unlock()
-	q.Graph.AddAssociationEdge(a, b, learning.Vector{"handcoded": 1})
+	id := q.Graph.AddAssociationEdge(a, b, learning.Vector{"handcoded": 1})
+	if q.persist != nil {
+		// Log the edge's FINAL features (the add may have merged into an
+		// existing pair). The signature predates persistence and returns
+		// nothing; a log failure surfaces at the next Checkpoint/Close.
+		r := q.Graph.AssociationRecord(id)
+		q.logMutationVoidLocked(walKindHandAssoc, walAssoc{A: r.A, B: r.B, Features: r.Features})
+	}
 	q.publishLocked()
 }
 

@@ -1,0 +1,462 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"qint/internal/learning"
+	"qint/internal/relstore"
+	"qint/internal/searchgraph"
+	"qint/internal/storage"
+)
+
+// This file wires Q's single-writer mutation path into the durable storage
+// engine (internal/storage). With Options.DataDir set, Open maps the newest
+// published generation snapshot (catalog + built value-index segments +
+// graph + view definitions) and replays the epoch WAL tail, and every
+// subsequent mutation follows log-then-publish: the mutation's record is
+// fsync'd into the WAL BEFORE the new state generation is published to
+// readers, so any state a query could ever observe is already durable.
+//
+// The WAL logs mutation EFFECTS, not operations. Replaying a source
+// registration cannot re-run the schema matchers — they are code,
+// re-registered by the caller after Open — so a registration record carries
+// the new tables plus every association edge the registration created, with
+// its FINAL merged feature vector; replay installs them verbatim
+// (searchgraph.RestoreAssociationEdge). Feedback records carry the weight
+// delta the MIRA update produced, not the preference that caused it. Replay
+// therefore needs no matchers, no MIRA, and no result sets, and reproduces
+// the builder state exactly (restart_test.go pins restart ≡ rebuild).
+//
+// What is deliberately NOT logged:
+//   - AddMatcher: matchers are code; re-registering installs only weights
+//     that are still missing, so it converges with replayed feedback.
+//   - Queries and views: Query is the lock-free read path and must not
+//     fsync. View definitions persist via checkpoint snapshots instead
+//     (Close checkpoints, so a clean shutdown loses nothing; a crash loses
+//     only views created since the last checkpoint — their answers were
+//     pure reads).
+//   - SetParallelism / cache knobs: per-process tuning, not state.
+
+// WAL record kinds (the storage layer treats them as opaque).
+const (
+	walKindAddTables byte = 1 // payload walRegister (Assocs empty)
+	walKindRegister  byte = 2 // payload walRegister
+	walKindWeights   byte = 3 // payload searchgraph.WeightDelta
+	walKindHandAssoc byte = 4 // payload walAssoc
+	walKindAssocBulk byte = 5 // payload walAssocBulk
+)
+
+// walTable is one table on the wire: the schema plus all rows.
+type walTable struct {
+	Source      string                `json:"source"`
+	Name        string                `json:"name"`
+	Attributes  []relstore.Attribute  `json:"attributes"`
+	ForeignKeys []relstore.ForeignKey `json:"foreign_keys,omitempty"`
+	Rows        [][]string            `json:"rows"`
+}
+
+// walAssoc is one association edge on the wire: canonical endpoints and the
+// final feature vector, installed verbatim on replay.
+type walAssoc struct {
+	A        relstore.AttrRef `json:"a"`
+	B        relstore.AttrRef `json:"b"`
+	Features learning.Vector  `json:"features"`
+}
+
+// walRegister is the effect of AddTables (Assocs empty) or RegisterSource:
+// the tables that entered the catalog and the association edges the
+// registration's alignment fixpoint created.
+type walRegister struct {
+	Tables []walTable `json:"tables"`
+	Assocs []walAssoc `json:"assocs,omitempty"`
+}
+
+// walAssocBulk is the effect of AlignAllPairs: the COMPLETE association
+// list (whole-catalog alignment can merge features into pre-existing
+// edges, so "edges created since" would miss merges).
+type walAssocBulk struct {
+	Assocs []walAssoc `json:"assocs"`
+}
+
+// snapMeta is the snapshot container's "meta" section: versioning plus the
+// persistent view definitions (contents are a function of the graph).
+type snapMeta struct {
+	Version int        `json:"version"`
+	Views   []viewSnap `json:"views"`
+}
+
+const snapMetaVersion = 1
+
+// persistence is Q's attachment to a storage.Store: the checkpoint
+// threshold and the background checkpointer folding the WAL into fresh
+// generation snapshots. All store calls run under writerMu.
+type persistence struct {
+	store *storage.Store
+	limit int64 // WAL bytes that trigger a background checkpoint; <0 = manual only
+
+	kick chan struct{} // nudges the checkpointer (non-blocking sends)
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	// lastErr records a persistence failure from a void-returning mutator
+	// (AddHandCodedAssociation, AlignAllPairs) or the background
+	// checkpointer; the next Checkpoint or Close surfaces it. Guarded by
+	// writerMu.
+	lastErr error
+
+	// snapViewsSig fingerprints the view definitions the current snapshot
+	// carries (they are the only snapshot-only state): a checkpoint with an
+	// empty WAL and unchanged views has nothing to fold and is skipped, so
+	// Close on an untouched instance does not rewrite the snapshot. Guarded
+	// by writerMu.
+	snapViewsSig string
+	hasSnapshot  bool
+}
+
+// defaultCheckpointWALBytes is the WAL size at which the background
+// checkpointer folds the log into a new generation snapshot.
+const defaultCheckpointWALBytes = 1 << 20
+
+// Open opens (or initialises) the durable store at opts.DataDir and
+// reconstructs Q from it: the newest published generation snapshot is
+// loaded — catalog decoded from its binary sections, built value-index
+// segments installed verbatim without rebuilding, graph with learned
+// weights — then the WAL tail replays the mutations committed since, and
+// the persistent views rematerialise. Matchers are code, not state:
+// re-register them after Open, exactly as with Load.
+//
+// The returned Q logs every mutation to the WAL before publishing it and
+// checkpoints in the background once the WAL passes
+// Options.CheckpointWALBytes. Call Close for a clean shutdown (it takes a
+// final checkpoint, making the next Open a pure snapshot load).
+func Open(opts Options) (*Q, error) {
+	if opts.DataDir == "" {
+		return nil, fmt.Errorf("core: Open requires Options.DataDir")
+	}
+	st, err := storage.Open(opts.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	q, err := openFrom(st, opts)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	return q, nil
+}
+
+func openFrom(st *storage.Store, opts Options) (*Q, error) {
+	q := New(opts)
+	var views []viewSnap
+	snapLoaded := false
+
+	if snap, ok, err := st.Snapshot(); err != nil {
+		return nil, err
+	} else if ok {
+		snapLoaded = true
+		catSec, okCat := snap.Section("catalog")
+		graphSec, okGraph := snap.Section("graph")
+		metaSec, okMeta := snap.Section("meta")
+		if !okCat || !okGraph || !okMeta {
+			return nil, fmt.Errorf("core: snapshot missing sections (have %v)", snap.SectionNames())
+		}
+		var meta snapMeta
+		if err := json.Unmarshal(metaSec, &meta); err != nil {
+			return nil, fmt.Errorf("core: snapshot meta: %w", err)
+		}
+		if meta.Version != snapMetaVersion {
+			return nil, fmt.Errorf("core: unsupported snapshot meta version %d", meta.Version)
+		}
+		views = meta.Views
+		cat, err := relstore.LoadCatalogBinary(catSec, q.opts.Shards)
+		if err != nil {
+			return nil, err
+		}
+		if segSec, ok := snap.Section("segments"); ok {
+			if err := cat.LoadSegments(segSec); err != nil {
+				return nil, err
+			}
+		}
+		cat.UseScanFindValues(q.opts.ScanFindValues)
+		cat.UseMaterialisedExec(q.opts.MaterialisedExec)
+		cat.SetParallelism(q.opts.Parallelism)
+		graph, err := searchgraph.Load(bytes.NewReader(graphSec))
+		if err != nil {
+			return nil, err
+		}
+		q.Catalog = cat
+		q.Graph = graph
+		for _, rel := range cat.Relations() {
+			q.indexRelation(rel) // the keyword corpus is derived state
+		}
+	}
+
+	// Replay the WAL tail: each record's effect, applied without re-logging.
+	for _, rec := range st.Records() {
+		if err := q.replayRecord(rec); err != nil {
+			return nil, fmt.Errorf("core: replay epoch %d: %w", rec.Epoch, err)
+		}
+	}
+
+	q.writerMu.Lock()
+	q.publishLocked()
+	q.writerMu.Unlock()
+
+	for _, vs := range views {
+		if _, err := q.QueryKeywords(vs.Keywords, vs.K); err != nil {
+			return nil, fmt.Errorf("core: restore view %v: %w", vs.Keywords, err)
+		}
+	}
+
+	limit := q.opts.CheckpointWALBytes
+	if limit == 0 {
+		limit = defaultCheckpointWALBytes
+	}
+	p := &persistence{store: st, limit: limit, kick: make(chan struct{}, 1), stop: make(chan struct{})}
+	p.hasSnapshot = snapLoaded
+	p.snapViewsSig = q.viewsSigLocked()
+	q.persist = p
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-p.kick:
+				q.writerMu.Lock()
+				if err := q.checkpointLocked(); err != nil && p.lastErr == nil {
+					p.lastErr = err
+				}
+				q.writerMu.Unlock()
+			}
+		}
+	}()
+	return q, nil
+}
+
+// replayRecord applies one committed WAL record to the builder state.
+// Mutations here never re-log; publishing happens once, after the whole
+// tail replays.
+func (q *Q) replayRecord(rec storage.Record) error {
+	switch rec.Kind {
+	case walKindAddTables, walKindRegister:
+		var p walRegister
+		if err := json.Unmarshal(rec.Payload, &p); err != nil {
+			return err
+		}
+		tables := make([]*relstore.Table, len(p.Tables))
+		for i, wt := range p.Tables {
+			t, err := relstore.NewTable(&relstore.Relation{
+				Source:      wt.Source,
+				Name:        wt.Name,
+				Attributes:  wt.Attributes,
+				ForeignKeys: wt.ForeignKeys,
+			}, wt.Rows)
+			if err != nil {
+				return err
+			}
+			tables[i] = t
+		}
+		q.writerMu.Lock()
+		defer q.writerMu.Unlock()
+		if err := q.addTablesLocked(tables...); err != nil {
+			return err
+		}
+		for _, a := range p.Assocs {
+			q.Graph.RestoreAssociationEdge(a.A, a.B, a.Features)
+		}
+		return nil
+	case walKindWeights:
+		var d searchgraph.WeightDelta
+		if err := json.Unmarshal(rec.Payload, &d); err != nil {
+			return err
+		}
+		q.writerMu.Lock()
+		defer q.writerMu.Unlock()
+		q.Graph.ApplyWeightDelta(d)
+		return nil
+	case walKindHandAssoc:
+		var a walAssoc
+		if err := json.Unmarshal(rec.Payload, &a); err != nil {
+			return err
+		}
+		q.writerMu.Lock()
+		defer q.writerMu.Unlock()
+		q.Graph.RestoreAssociationEdge(a.A, a.B, a.Features)
+		return nil
+	case walKindAssocBulk:
+		var p walAssocBulk
+		if err := json.Unmarshal(rec.Payload, &p); err != nil {
+			return err
+		}
+		q.writerMu.Lock()
+		defer q.writerMu.Unlock()
+		for _, a := range p.Assocs {
+			q.Graph.RestoreAssociationEdge(a.A, a.B, a.Features)
+		}
+		return nil
+	default:
+		return fmt.Errorf("core: unknown WAL record kind %d", rec.Kind)
+	}
+}
+
+// logMutationLocked commits one mutation record to the WAL — the
+// log-then-publish step. When it returns nil the record is fsync'd; only
+// then may the caller publish the new generation. Callers hold writerMu. A
+// nil persistence (no DataDir) is a no-op.
+func (q *Q) logMutationLocked(kind byte, payload any) error {
+	if q.persist == nil {
+		return nil
+	}
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("core: encode WAL record: %w", err)
+	}
+	if _, err := q.persist.store.Append(kind, data); err != nil {
+		return err
+	}
+	if q.persist.limit >= 0 && q.persist.store.WALSize() >= q.persist.limit {
+		select {
+		case q.persist.kick <- struct{}{}:
+		default: // a checkpoint is already pending
+		}
+	}
+	return nil
+}
+
+// logMutationVoidLocked is logMutationLocked for mutators whose signatures
+// predate persistence and return nothing: a failure is recorded and
+// surfaced by the next Checkpoint or Close.
+func (q *Q) logMutationVoidLocked(kind byte, payload any) {
+	if err := q.logMutationLocked(kind, payload); err != nil && q.persist.lastErr == nil {
+		q.persist.lastErr = err
+	}
+}
+
+func wireTables(tables []*relstore.Table) []walTable {
+	out := make([]walTable, len(tables))
+	for i, t := range tables {
+		out[i] = walTable{
+			Source:      t.Relation.Source,
+			Name:        t.Relation.Name,
+			Attributes:  t.Relation.Attributes,
+			ForeignKeys: t.Relation.ForeignKeys,
+			Rows:        t.Rows,
+		}
+	}
+	return out
+}
+
+func wireAssocs(recs []searchgraph.AssocRecord) []walAssoc {
+	out := make([]walAssoc, len(recs))
+	for i, r := range recs {
+		out[i] = walAssoc{A: r.A, B: r.B, Features: r.Features}
+	}
+	return out
+}
+
+// Checkpoint folds the WAL into a fresh generation snapshot now (the
+// background checkpointer calls the same path once the WAL passes the
+// configured threshold). A no-op without a DataDir.
+func (q *Q) Checkpoint() error {
+	q.writerMu.Lock()
+	defer q.writerMu.Unlock()
+	return q.checkpointLocked()
+}
+
+func (q *Q) checkpointLocked() error {
+	if q.persist == nil {
+		return nil
+	}
+	if err := q.persist.lastErr; err != nil {
+		q.persist.lastErr = nil
+		return err
+	}
+	// Nothing to fold: the WAL is empty and the snapshot already carries
+	// the current view definitions (the only snapshot-only state), so the
+	// existing generation is exact. Keeps a cold open → close cycle from
+	// rewriting a large snapshot it only just read.
+	if q.persist.hasSnapshot && q.persist.store.WALSize() == 0 &&
+		q.viewsSigLocked() == q.persist.snapViewsSig {
+		return nil
+	}
+	if err := q.persist.store.Publish(func(sa storage.SectionAdder) error {
+		return q.writeSnapshotSections(sa)
+	}); err != nil {
+		return err
+	}
+	q.persist.hasSnapshot = true
+	q.persist.snapViewsSig = q.viewsSigLocked()
+	return nil
+}
+
+// viewsSigLocked fingerprints the persistent view definitions (keywords
+// and k) for the checkpoint-skip test above.
+func (q *Q) viewsSigLocked() string {
+	var b bytes.Buffer
+	for _, v := range q.Views() {
+		fmt.Fprintf(&b, "%q:%d;", v.Keywords, v.K)
+	}
+	return b.String()
+}
+
+// writeSnapshotSections streams the builder state into a generation
+// snapshot container. Section order is fixed; every encoder is
+// deterministic, so identical states produce identical snapshot bytes.
+func (q *Q) writeSnapshotSections(sa storage.SectionAdder) error {
+	meta := snapMeta{Version: snapMetaVersion}
+	for _, v := range q.Views() {
+		meta.Views = append(meta.Views, viewSnap{Keywords: v.Keywords, K: v.K})
+	}
+	if err := sa.Section("meta", func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(meta)
+	}); err != nil {
+		return err
+	}
+	if err := sa.Section("catalog", q.Catalog.SaveBinary); err != nil {
+		return err
+	}
+	if err := sa.Section("segments", q.Catalog.SaveSegments); err != nil {
+		return err
+	}
+	return sa.Section("graph", q.Graph.Save)
+}
+
+// WALEpoch returns the storage engine's last committed epoch (0 without a
+// DataDir) — for tests and ops visibility.
+func (q *Q) WALEpoch() uint64 {
+	q.writerMu.Lock()
+	defer q.writerMu.Unlock()
+	if q.persist == nil {
+		return 0
+	}
+	return q.persist.store.Epoch()
+}
+
+// Close shuts persistence down cleanly: the background checkpointer stops,
+// a final checkpoint folds the WAL (so the next Open is a pure snapshot
+// load and no view definitions are lost), and the store closes. A Q without
+// a DataDir closes trivially. The Q must not be used after Close.
+func (q *Q) Close() error {
+	q.writerMu.Lock()
+	p := q.persist
+	q.writerMu.Unlock()
+	if p == nil {
+		return nil
+	}
+	close(p.stop)
+	p.wg.Wait()
+	q.writerMu.Lock()
+	defer q.writerMu.Unlock()
+	err := q.checkpointLocked()
+	if cerr := p.store.Close(); err == nil {
+		err = cerr
+	}
+	q.persist = nil
+	return err
+}

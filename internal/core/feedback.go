@@ -125,6 +125,15 @@ func (q *Q) FeedbackPreferTrees(v *View, target steiner.Tree, worse []steiner.Tr
 }
 
 func (q *Q) feedbackPreferLocked(mat *viewMat, target steiner.Tree, worse []steiner.Tree) error {
+	// Captured BEFORE the keyword-weight seeding below: the WAL logs the
+	// complete effect of this feedback step as one weight-vector delta
+	// (seeding + MIRA update), so replaying it against the pre-feedback
+	// vector reproduces the post-feedback vector exactly — without
+	// re-running MIRA, which would need the overlays and result sets.
+	var entryWeights learning.Vector
+	if q.persist != nil {
+		entryWeights = q.Graph.Weights().Clone()
+	}
 	competitors := make([]learning.TreeExample, 0, len(worse))
 	for _, t := range worse {
 		competitors = append(competitors, treeExample(mat.ov, t))
@@ -153,6 +162,15 @@ func (q *Q) feedbackPreferLocked(mat *viewMat, target steiner.Tree, worse []stei
 	w := q.mira.UpdateWithPositivity(
 		q.Graph.Weights(), treeExample(mat.ov, target), competitors,
 		q.learnableEdgeFeatures(mats), minLearnableCost)
+	// Log-then-publish: the delta is durable before SetWeights installs the
+	// new vector and refreshLocked publishes the regraded generation.
+	if q.persist != nil {
+		if d := searchgraph.DiffWeights(entryWeights, w); !d.Empty() {
+			if err := q.logMutationLocked(walKindWeights, d); err != nil {
+				return err
+			}
+		}
+	}
 	q.Graph.SetWeights(w)
 	return q.refreshLocked()
 }

@@ -92,21 +92,17 @@ func Load(r io.Reader) (*Q, error) {
 	q.writerMu.Lock()
 	q.publishLocked()
 	q.writerMu.Unlock()
-	// Recreate views: each Query expands its keywords into a fresh overlay
-	// over the loaded graph and materialises.
+	// Recreate views: each expands its saved keyword list into a fresh
+	// overlay over the loaded graph and materialises at its saved k.
+	// QueryKeywords takes the list verbatim — re-joining keywords into a
+	// query string would corrupt any keyword containing a quote (the quote
+	// would end the phrase early) and silently drop empty keywords, and
+	// materialising at the k the view was saved with (not the loaded
+	// Options.K) is what makes the round-trip exact.
 	for _, vs := range s.Views {
-		joined := ""
-		for i, kw := range vs.Keywords {
-			if i > 0 {
-				joined += " "
-			}
-			joined += "'" + kw + "'"
-		}
-		v, err := q.Query(joined)
-		if err != nil {
+		if _, err := q.QueryKeywords(vs.Keywords, vs.K); err != nil {
 			return nil, fmt.Errorf("core: load view %v: %w", vs.Keywords, err)
 		}
-		v.K = vs.K
 	}
 	return q, nil
 }

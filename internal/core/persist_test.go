@@ -75,6 +75,69 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestSaveLoadHostileKeywords pins the two round-trip bugs the keyword
+// list used to hit: views were recreated by re-joining keywords as 'kw'
+// (so a quote inside a keyword ended the phrase early and an empty keyword
+// vanished), and were rematerialised at the loaded Options.K instead of
+// the k each view was saved with. QueryKeywords takes the list and k
+// verbatim, so every view — whatever its keywords contain — must come back
+// byte-identical.
+func TestSaveLoadHostileKeywords(t *testing.T) {
+	q := newFixtureQ(t, true)
+	hostile := [][]string{
+		{"o'brien", "plasma membrane"},     // embedded quote
+		{"'nucleus'", "entry"},             // fully quoted keyword
+		{"", "nucleus"},                    // empty keyword survives verbatim
+		{"zoë", "plasma membrane"},         // non-ASCII
+		{"nul\x00byte", "entry"},           // NUL inside a keyword
+		{"plasma membrane", "", "o'brien"}, // several at once
+	}
+	const savedK = 3 // differs from DefaultOptions().K=5 to catch the K bug
+	var before []string
+	for _, kws := range hostile {
+		v, err := q.QueryKeywords(kws, savedK)
+		if err != nil {
+			t.Fatalf("QueryKeywords(%q): %v", kws, err)
+		}
+		before = append(before, fingerprintView(v))
+	}
+
+	var buf bytes.Buffer
+	if err := q.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q2, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	views := q2.Views()
+	if len(views) != len(hostile) {
+		t.Fatalf("views = %d, want %d", len(views), len(hostile))
+	}
+	for i, v := range views {
+		if v.K != savedK {
+			t.Errorf("view %d: K = %d, want the saved %d (not Options.K)", i, v.K, savedK)
+		}
+		if got := fingerprintView(v); got != before[i] {
+			t.Errorf("view %d (%q) changed across save/load:\nbefore:\n%s\nafter:\n%s",
+				i, hostile[i], before[i], got)
+		}
+	}
+}
+
+// TestQueryKeywordsValidation: the list-based entry point rejects an empty
+// list (no keywords means no terminals) but accepts any keyword contents.
+func TestQueryKeywordsValidation(t *testing.T) {
+	q := newFixtureQ(t, false)
+	if _, err := q.QueryKeywords(nil, 0); err == nil {
+		t.Error("empty keyword list should fail")
+	}
+	if _, err := q.QueryKeywords([]string{"nucleus", "entry"}, 0); err != nil {
+		t.Errorf("k<=0 should fall back to Options.K: %v", err)
+	}
+}
+
 func TestLoadedInstanceKeepsWorking(t *testing.T) {
 	q := newFixtureQ(t, true)
 	if _, err := q.Query("'plasma membrane' 'Kringle domain'"); err != nil {

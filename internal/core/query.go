@@ -193,12 +193,35 @@ func (q *Q) QueryWith(query string, parallelism int) (*View, error) {
 	if len(keywords) == 0 {
 		return nil, fmt.Errorf("core: empty keyword query %q", query)
 	}
+	return q.queryKeywords(keywords, 0, parallelism)
+}
+
+// QueryKeywords runs a keyword query from an already-split keyword list,
+// bypassing the quote-aware string parser entirely — keywords containing
+// quotes, spaces, or any other byte sequence (even ones parseKeywords could
+// never produce) pass through verbatim. k bounds the view's answer count;
+// k <= 0 uses the configured default. This is the restart path: persisted
+// views are saved as (keywords, k) and must round-trip exactly, not through
+// a lossy re-quoting of their keyword list.
+func (q *Q) QueryKeywords(keywords []string, k int) (*View, error) {
+	if len(keywords) == 0 {
+		return nil, fmt.Errorf("core: empty keyword list")
+	}
+	return q.queryKeywords(append([]string(nil), keywords...), k, 0)
+}
+
+// queryKeywords is the shared tail of QueryWith and QueryKeywords:
+// materialise (through the cache) at the requested k and register the view.
+func (q *Q) queryKeywords(keywords []string, k, parallelism int) (*View, error) {
+	if k <= 0 {
+		k = q.opts.K
+	}
 	st := q.state()
-	mat, err := q.materializeCached(st, keywords, q.opts.K, parallelism)
+	mat, err := q.materializeCached(st, keywords, k, parallelism)
 	if err != nil {
 		return nil, err
 	}
-	v := &View{Keywords: keywords, K: q.opts.K}
+	v := &View{Keywords: keywords, K: k}
 	v.mat.Store(mat)
 	q.viewsMu.Lock()
 	q.views = append(q.views, v)

@@ -86,8 +86,12 @@ func (q *Q) RegisterSource(tables []*relstore.Table, strategy AlignStrategy) (*R
 		}
 	}
 
-	// Existing relations BEFORE this source joins.
+	// Existing relations BEFORE this source joins. preEdges bounds the WAL
+	// record: every association edge this registration creates has an id
+	// beyond it (the A-side of each alignment is always in the new source,
+	// so no pre-existing pair can be endorsed and merged into).
 	existing := q.Catalog.Relations()
+	preEdges := q.Graph.NumEdges()
 
 	if err := q.addTablesLocked(tables...); err != nil {
 		return nil, err
@@ -153,6 +157,17 @@ func (q *Q) RegisterSource(tables []*relstore.Table, strategy AlignStrategy) (*R
 		if alignedTargets[rel.QualifiedName()] {
 			report.TargetsCompared = append(report.TargetsCompared, rel.QualifiedName())
 		}
+	}
+
+	// Log-then-publish: the registration's full effect — the new tables and
+	// every association edge the alignment fixpoint created, with final
+	// merged features — must be durable before refreshLocked publishes it.
+	// Replay installs the edges verbatim; it never re-runs the matchers.
+	if err := q.logMutationLocked(walKindRegister, walRegister{
+		Tables: wireTables(tables),
+		Assocs: wireAssocs(q.Graph.AssociationsSince(preEdges)),
+	}); err != nil {
+		return nil, err
 	}
 
 	// Commit: one atomic publish, then bring every view up to date.
@@ -354,6 +369,16 @@ func (q *Q) AlignAllPairs() *RegisterReport {
 			}
 		}
 		q.installAlignments(m, candidates, report, true)
+	}
+	if q.persist != nil {
+		// Whole-catalog alignment can merge features into PRE-EXISTING
+		// edges, so "edges since n" would miss merges: log the complete
+		// association list (replay replaces verbatim, so it is idempotent).
+		// The signature predates persistence and returns no error; a log
+		// failure surfaces at the next Checkpoint/Close.
+		q.logMutationVoidLocked(walKindAssocBulk, walAssocBulk{
+			Assocs: wireAssocs(q.Graph.AssociationFeatures()),
+		})
 	}
 	q.publishLocked()
 	return report

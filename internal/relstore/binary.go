@@ -1,0 +1,364 @@
+package relstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file is the binary persistence codec behind the durable storage
+// engine (internal/storage): the catalog's tables and its built value-index
+// segments encode to compact length-prefixed binary sections, and decode by
+// re-pointing rather than re-deriving — a loaded segment is installed
+// verbatim into the owning shard's segment cache, so a restart skips
+// normalisation and trigram extraction entirely (the dominant cold-start
+// cost). Strings decode as substrings of one backing string per section, so
+// loading allocates O(tables + segments) backing arrays, not O(values).
+//
+// Both encoders are deterministic: tables serialise in registration order,
+// segment entries are already sorted by (attribute, value), and posting maps
+// serialise under sorted keys with delta-encoded ascending id lists. The
+// same catalog therefore always produces the same bytes — which the storage
+// layer's restart-equivalence tests rely on.
+
+const (
+	catalogBinMagic  = "QCATb1\n\n"
+	segmentsBinMagic = "QSEGb1\n\n"
+)
+
+// ---------------------------------------------------------------------------
+// encoding primitives
+
+type binWriter struct {
+	w       *bufio.Writer
+	scratch [binary.MaxVarintLen64]byte
+	err     error
+}
+
+func newBinWriter(w io.Writer) *binWriter { return &binWriter{w: bufio.NewWriter(w)} }
+
+func (b *binWriter) uvarint(v uint64) {
+	if b.err != nil {
+		return
+	}
+	n := binary.PutUvarint(b.scratch[:], v)
+	_, b.err = b.w.Write(b.scratch[:n])
+}
+
+func (b *binWriter) str(s string) {
+	b.uvarint(uint64(len(s)))
+	if b.err != nil {
+		return
+	}
+	_, b.err = b.w.WriteString(s)
+}
+
+func (b *binWriter) flush() error {
+	if b.err != nil {
+		return b.err
+	}
+	return b.w.Flush()
+}
+
+// binReader decodes from an in-memory section. The whole input converts to
+// ONE string up front; str returns substrings of it, aliasing that single
+// backing array instead of allocating per value.
+type binReader struct {
+	s   string
+	off int
+	err error
+}
+
+func newBinReader(data []byte, magic string) *binReader {
+	r := &binReader{s: string(data)}
+	if len(r.s) < len(magic) || r.s[:len(magic)] != magic {
+		r.err = fmt.Errorf("relstore: bad binary section magic")
+		return r
+	}
+	r.off = len(magic)
+	return r
+}
+
+func (r *binReader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("relstore: binary decode: truncated %s at offset %d", what, r.off)
+	}
+}
+
+func (r *binReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint([]byte(r.s[r.off:min(r.off+binary.MaxVarintLen64, len(r.s))]))
+	if n <= 0 {
+		r.fail("varint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// count reads a uvarint that will be used as an allocation size, bounding it
+// by the bytes remaining so corrupt input cannot force a huge allocation.
+func (r *binReader) count(what string) int {
+	v := r.uvarint()
+	if r.err == nil && v > uint64(len(r.s)-r.off) {
+		r.err = fmt.Errorf("relstore: binary decode: %s count %d exceeds input", what, v)
+		return 0
+	}
+	return int(v)
+}
+
+func (r *binReader) str() string {
+	n := int(r.uvarint())
+	if r.err != nil {
+		return ""
+	}
+	if n < 0 || r.off+n > len(r.s) {
+		r.fail("string")
+		return ""
+	}
+	s := r.s[r.off : r.off+n]
+	r.off += n
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// catalog tables
+
+// SaveBinary encodes the catalog's schemas and rows — the ground truth the
+// engine re-registers on restart — in registration order.
+func (c *Catalog) SaveBinary(w io.Writer) error {
+	b := newBinWriter(w)
+	if _, err := b.w.WriteString(catalogBinMagic); err != nil {
+		return err
+	}
+	b.uvarint(uint64(len(c.order)))
+	for _, qn := range c.order {
+		t := c.lookup(qn)
+		rel := t.Relation
+		b.str(rel.Source)
+		b.str(rel.Name)
+		b.uvarint(uint64(len(rel.Attributes)))
+		for _, a := range rel.Attributes {
+			b.str(a.Name)
+			b.uvarint(uint64(a.Type))
+		}
+		b.uvarint(uint64(len(rel.ForeignKeys)))
+		for _, fk := range rel.ForeignKeys {
+			b.str(fk.FromAttr)
+			b.str(fk.ToRelation)
+			b.str(fk.ToAttr)
+		}
+		b.uvarint(uint64(len(t.Rows)))
+		for _, row := range t.Rows {
+			for _, v := range row {
+				b.str(v)
+			}
+		}
+	}
+	if err := b.flush(); err != nil {
+		return fmt.Errorf("relstore: save catalog: %w", err)
+	}
+	return nil
+}
+
+// LoadCatalogBinary decodes a SaveBinary section into a fresh catalog at the
+// given shard count (<= 0 selects the default). Row and schema strings alias
+// one backing string for the whole section.
+func LoadCatalogBinary(data []byte, shards int) (*Catalog, error) {
+	r := newBinReader(data, catalogBinMagic)
+	c := NewCatalogSharded(shards)
+	nTables := r.count("table")
+	for ti := 0; ti < nTables && r.err == nil; ti++ {
+		rel := &Relation{Source: r.str(), Name: r.str()}
+		nAttr := r.count("attribute")
+		rel.Attributes = make([]Attribute, nAttr)
+		for i := range rel.Attributes {
+			rel.Attributes[i] = Attribute{Name: r.str(), Type: Type(r.uvarint())}
+		}
+		nFK := r.count("foreign key")
+		if nFK > 0 {
+			rel.ForeignKeys = make([]ForeignKey, nFK)
+			for i := range rel.ForeignKeys {
+				rel.ForeignKeys[i] = ForeignKey{FromAttr: r.str(), ToRelation: r.str(), ToAttr: r.str()}
+			}
+		}
+		nRows := r.count("row")
+		rows := make([][]string, nRows)
+		if nAttr > 0 {
+			flat := make([]string, nRows*nAttr)
+			for i := range rows {
+				row := flat[i*nAttr : (i+1)*nAttr]
+				for j := range row {
+					row[j] = r.str()
+				}
+				rows[i] = row
+			}
+		} else {
+			for i := range rows {
+				rows[i] = []string{}
+			}
+		}
+		if r.err != nil {
+			break
+		}
+		t, err := NewTable(rel, rows)
+		if err != nil {
+			return nil, fmt.Errorf("relstore: load catalog: %w", err)
+		}
+		if err := c.AddTable(t); err != nil {
+			return nil, fmt.Errorf("relstore: load catalog: %w", err)
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return c, nil
+}
+
+// ---------------------------------------------------------------------------
+// value-index segments
+
+// SaveSegments encodes every ALREADY BUILT value-index segment (segments are
+// built lazily; unbuilt tables simply rebuild lazily after a restart too).
+// Deterministic: segments serialise in registration order, posting maps
+// under sorted keys, id lists delta-encoded.
+func (c *Catalog) SaveSegments(w io.Writer) error {
+	b := newBinWriter(w)
+	if _, err := b.w.WriteString(segmentsBinMagic); err != nil {
+		return err
+	}
+	var segs []*segment
+	for _, qn := range c.order {
+		sh := c.shardFor(qn)
+		if s := sh.index.built(sh.tables[qn]); s != nil {
+			segs = append(segs, s)
+		}
+	}
+	b.uvarint(uint64(len(segs)))
+	for _, s := range segs {
+		b.str(s.rel)
+		b.uvarint(uint64(len(s.attrs)))
+		for _, a := range s.attrs {
+			b.str(a)
+		}
+		for _, off := range s.attrStart {
+			b.uvarint(uint64(off))
+		}
+		b.uvarint(uint64(len(s.entries)))
+		for _, e := range s.entries {
+			b.str(e.val)
+			b.str(e.norm)
+			b.uvarint(uint64(e.rows))
+		}
+		writePostings(b, s.grams)
+		writePostings(b, s.tokens)
+	}
+	if err := b.flush(); err != nil {
+		return fmt.Errorf("relstore: save segments: %w", err)
+	}
+	return nil
+}
+
+func writePostings(b *binWriter, m map[string][]int32) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b.uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		b.str(k)
+		ids := m[k]
+		b.uvarint(uint64(len(ids)))
+		prev := int32(0)
+		for _, id := range ids {
+			b.uvarint(uint64(id - prev)) // ascending ids: deltas are non-negative
+			prev = id
+		}
+	}
+}
+
+func readPostings(r *binReader, nEntries int) map[string][]int32 {
+	n := r.count("posting key")
+	m := make(map[string][]int32, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		k := r.str()
+		ln := r.count("posting id")
+		ids := make([]int32, ln)
+		prev := int32(0)
+		for j := range ids {
+			prev += int32(r.uvarint())
+			ids[j] = prev
+		}
+		if r.err == nil && ln > 0 && int(prev) >= nEntries {
+			r.err = fmt.Errorf("relstore: binary decode: posting id %d out of range", prev)
+			return nil
+		}
+		m[k] = ids
+	}
+	return m
+}
+
+// LoadSegments decodes a SaveSegments section and installs each segment
+// verbatim into the owning shard's segment cache — the re-point load path:
+// no normalisation, no trigram extraction, no row scans. Segments naming
+// relations absent from the catalog are an error (the snapshot's catalog and
+// segment sections are written together and must agree).
+func (c *Catalog) LoadSegments(data []byte) error {
+	r := newBinReader(data, segmentsBinMagic)
+	nSegs := r.count("segment")
+	for si := 0; si < nSegs && r.err == nil; si++ {
+		s := &segment{rel: r.str()}
+		nAttr := r.count("attribute")
+		s.attrs = make([]string, nAttr)
+		for i := range s.attrs {
+			s.attrs[i] = r.str()
+		}
+		s.attrStart = make([]int, nAttr+1)
+		for i := range s.attrStart {
+			s.attrStart[i] = int(r.uvarint())
+		}
+		nEntries := r.count("entry")
+		if r.err == nil {
+			ok := s.attrStart[0] == 0 && s.attrStart[nAttr] == nEntries
+			for i := 0; ok && i < nAttr; i++ {
+				ok = s.attrStart[i] <= s.attrStart[i+1]
+			}
+			if !ok {
+				r.err = fmt.Errorf("relstore: binary decode: segment %s attribute spans disagree with %d entries", s.rel, nEntries)
+				break
+			}
+		}
+		s.entries = make([]indexEntry, nEntries)
+		ai := 0
+		for i := range s.entries {
+			for ai < nAttr && i >= s.attrStart[ai+1] {
+				ai++
+			}
+			s.entries[i] = indexEntry{
+				attr: ai,
+				val:  r.str(),
+				norm: r.str(),
+				rows: int(r.uvarint()),
+			}
+		}
+		s.grams = readPostings(r, nEntries)
+		s.tokens = readPostings(r, nEntries)
+		if r.err != nil {
+			break
+		}
+		sh := c.shardFor(s.rel)
+		t := sh.tables[s.rel]
+		if t == nil {
+			return fmt.Errorf("relstore: load segments: segment for unknown relation %s", s.rel)
+		}
+		sh.index.mu.Lock()
+		sh.index.segs[t] = s
+		sh.index.mu.Unlock()
+	}
+	return r.err
+}

@@ -1,0 +1,133 @@
+package searchgraph
+
+import (
+	"sort"
+
+	"qint/internal/learning"
+	"qint/internal/relstore"
+	"qint/internal/steiner"
+)
+
+// This file is the search graph's interface to the epoch WAL
+// (internal/storage, wired by internal/core): mutations are logged as
+// EFFECTS, not operations. Replaying a source registration cannot re-run the
+// schema matchers (they are code, re-registered only after the store opens),
+// so the log instead carries each association edge's FINAL merged feature
+// vector, and RestoreAssociationEdge installs it verbatim — no matcher
+// invocation, no feature merging, no indicator synthesis. Feedback likewise
+// logs the weight-vector delta it produced, not the preference that caused
+// it. Replay is therefore exact and needs nothing beyond the graph itself.
+
+// AssocRecord is one association edge as logged to (and replayed from) the
+// WAL: its canonicalised endpoints and its final feature vector, indicators
+// included.
+type AssocRecord struct {
+	A, B     relstore.AttrRef
+	Features learning.Vector
+}
+
+// AssociationsSince returns the association edges with id >= n — the edges a
+// registration created — with their final (post-merge) feature vectors, in
+// id order. Callers capture n := g.NumEdges() before the mutation; every
+// association edge a registration creates has an id beyond that point.
+func (g *Graph) AssociationsSince(n int) []AssocRecord {
+	var out []AssocRecord
+	for id := n; id < len(g.s.edges); id++ {
+		if e := g.s.edges[id]; e.Kind == EdgeAssociation {
+			out = append(out, AssocRecord{A: e.A, B: e.B, Features: e.Features})
+		}
+	}
+	return out
+}
+
+// AssociationRecord returns one association edge as a replayable record —
+// used to log a single-edge mutation (a hand-coded association) whose edge
+// id the mutator already holds, whether the edge is new or a merge into an
+// existing pair.
+func (g *Graph) AssociationRecord(id steiner.EdgeID) AssocRecord {
+	e := g.s.edges[id]
+	return AssocRecord{A: e.A, B: e.B, Features: e.Features}
+}
+
+// AssociationFeatures returns EVERY association edge as a replayable record,
+// in id order. Used when a mutation may have merged features into
+// pre-existing edges (the alignment fixpoint can endorse an old pair), where
+// "edges since n" would miss the merge.
+func (g *Graph) AssociationFeatures() []AssocRecord {
+	return g.AssociationsSince(0)
+}
+
+// RestoreAssociationEdge installs an association edge with the given feature
+// vector VERBATIM — the WAL replay path. Unlike AddAssociationEdge it never
+// merges, clones into indicators, or invokes matcher-bin semantics: the
+// features are the edge's complete final vector as logged. An existing edge
+// for the pair has its features replaced (replaying a merge); a missing one
+// is created. Endpoint attribute nodes (and their relation nodes and fixed
+// edges) are created as needed.
+func (g *Graph) RestoreAssociationEdge(a, b relstore.AttrRef, features learning.Vector) steiner.EdgeID {
+	ka, kb := a.String(), b.String()
+	if kb < ka {
+		a, b = b, a
+		ka, kb = kb, ka
+	}
+	pairKey := ka + "~" + kb
+	if id, ok := g.s.assocSeen[pairKey]; ok {
+		g.own()
+		// Replace, never mutate: frozen snapshots share feature pointers.
+		g.s.edges[id].Features = features.Clone()
+		g.refreshCost(id)
+		return id
+	}
+	g.own()
+	u := g.AttributeNode(a)
+	v := g.AttributeNode(b)
+	id := g.addEdge(u, v, Edge{Kind: EdgeAssociation, Features: features.Clone(), A: a, B: b})
+	g.s.assocSeen[pairKey] = id
+	return id
+}
+
+// WeightDelta is the logged effect of one weight-vector mutation: the
+// features whose weights changed (with their new values) and the features
+// that were removed. Applying it to the pre-mutation vector reproduces the
+// post-mutation vector exactly.
+type WeightDelta struct {
+	Set map[string]float64 `json:"set,omitempty"`
+	Del []string           `json:"del,omitempty"`
+}
+
+// DiffWeights computes the delta from old to new. Deleted features are
+// listed sorted for deterministic encodings.
+func DiffWeights(old, new learning.Vector) WeightDelta {
+	var d WeightDelta
+	for k, v := range new {
+		if ov, ok := old[k]; !ok || ov != v {
+			if d.Set == nil {
+				d.Set = make(map[string]float64)
+			}
+			d.Set[k] = v
+		}
+	}
+	for k := range old {
+		if _, ok := new[k]; !ok {
+			d.Del = append(d.Del, k)
+		}
+	}
+	sort.Strings(d.Del)
+	return d
+}
+
+// Empty reports whether the delta changes nothing.
+func (d WeightDelta) Empty() bool { return len(d.Set) == 0 && len(d.Del) == 0 }
+
+// ApplyWeightDelta applies a logged delta to the graph's current weights and
+// recomputes every learnable edge cost — the feedback replay path.
+func (g *Graph) ApplyWeightDelta(d WeightDelta) {
+	w := g.Weights().Clone()
+	for k, v := range d.Set {
+		w[k] = v
+	}
+	for _, k := range d.Del {
+		delete(w, k)
+	}
+	g.SetWeights(w)
+}

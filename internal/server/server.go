@@ -75,9 +75,16 @@ type Server struct {
 }
 
 // New wraps q. The caller should have registered matchers and initial
-// tables already.
+// tables already. Views the instance already holds (e.g. restored from a
+// durable snapshot by core.Open) are seeded into the id registry in
+// creation order, so they are addressable over HTTP after a restart.
 func New(q *core.Q) *Server {
 	s := &Server{q: q, byID: make(map[string]*core.View)}
+	for _, v := range q.Views() {
+		id := fmt.Sprintf("v%d", s.nextID.Add(1)-1)
+		s.views = append(s.views, viewEntry{id: id, view: v})
+		s.byID[id] = v
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/sources", s.handleSources)
 	mux.HandleFunc("/query", s.handleQuery)

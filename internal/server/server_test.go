@@ -272,3 +272,49 @@ func TestConcurrentQueries(t *testing.T) {
 		t.Errorf("views = %d, want %d", len(list), n)
 	}
 }
+
+// Views the core already holds when the server is constructed — e.g.
+// restored from a durable snapshot by core.Open — must be addressable
+// over HTTP, and new queries must keep minting unique ids after them.
+func TestPreexistingViewsSeeded(t *testing.T) {
+	q := core.New(core.DefaultOptions())
+	q.AddMatcher(meta.New())
+	q.AddMatcher(mad.New())
+	corpus := datasets.InterProGO()
+	if err := q.AddTables(corpus.Tables...); err != nil {
+		t.Fatal(err)
+	}
+	q.AlignAllPairs()
+	if _, err := q.Query("'GO:0001000' 'fam_0'"); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(New(q))
+	t.Cleanup(ts.Close)
+
+	lresp, err := http.Get(ts.URL + "/views")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []ViewSummary
+	decode(t, lresp, &list)
+	if len(list) != 1 || list[0].ID != "v0" {
+		t.Fatalf("seeded views = %+v, want one entry v0", list)
+	}
+	gresp, err := http.Get(ts.URL + "/views/v0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var va ViewAnswers
+	decode(t, gresp, &va)
+	if gresp.StatusCode != http.StatusOK || len(va.Rows) == 0 {
+		t.Fatalf("GET seeded view: status %d, %d rows", gresp.StatusCode, len(va.Rows))
+	}
+
+	resp := postJSON(t, ts.URL+"/query", QueryRequest{Q: "'GO:0001000' 'fam_0'"})
+	var next ViewAnswers
+	decode(t, resp, &next)
+	if next.ID != "v1" {
+		t.Fatalf("post-seed query id = %q, want v1", next.ID)
+	}
+}

@@ -1,0 +1,101 @@
+// Package storage is Q's durable storage engine: crash-safe persistence
+// for the immutable, epoch-stamped state generations the core engine
+// already produces in memory.
+//
+// The on-disk unit is a directory holding three kinds of file:
+//
+//	MANIFEST          the single source of truth: which generation
+//	                  snapshot is current, its epoch, and which WAL file
+//	                  carries the mutations committed since. Written
+//	                  atomically (write-temp → fsync → rename → dir
+//	                  fsync), so a reader always sees one complete,
+//	                  committed manifest — never a torn one.
+//	gen-<epoch>.snap  one generation snapshot: a binary, offset-indexed
+//	                  section container (see container.go) holding the
+//	                  catalog, its built value-index segments, the search
+//	                  graph and the view definitions as of <epoch>.
+//	wal-<epoch>.log   the epoch write-ahead log: every mutation committed
+//	                  after snapshot <epoch>, as length-prefixed,
+//	                  CRC-checked, epoch-stamped records, fsync'd on
+//	                  commit (see wal.go).
+//
+// Restart is therefore "map the newest published generation + replay the
+// WAL tail": Open reads the manifest, loads the snapshot it names, and
+// replays only the records committed since — seconds of decoding instead
+// of a full re-index. A torn final WAL record (crash mid-append) is
+// truncated, not fatal: recovery lands exactly on the last committed
+// epoch.
+//
+// Publishing a new generation (folding the WAL into a fresh snapshot)
+// follows the classic write-temp → fsync → atomic-rename protocol, and the
+// manifest is only rewritten after the new snapshot and its fresh WAL are
+// both durable — a crash at any intermediate step leaves the previous
+// generation fully intact and current.
+package storage
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes a file via the write-temp → fsync → atomic-rename
+// protocol: write is handed a temporary file in the target's directory, and
+// only after it returns successfully and the data is fsync'd is the
+// temporary renamed over path. A crash at any point leaves either the old
+// file (complete) or the new file (complete) — never a torn or truncated
+// mix, and never a destroyed previous version. The containing directory is
+// fsync'd after the rename so the new name itself is durable.
+//
+// All snapshot-to-a-path writes in this repository route through this
+// helper (an in-place os.Create would destroy the previous snapshot the
+// moment a crash interrupts the write).
+func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("storage: atomic write %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return fmt.Errorf("storage: atomic write %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("storage: atomic write %s: sync: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("storage: atomic write %s: close: %w", path, err)
+	}
+	if err = os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("storage: atomic write %s: rename: %w", path, err)
+	}
+	if err = syncDir(dir); err != nil {
+		return fmt.Errorf("storage: atomic write %s: %w", path, err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so renames and creations inside it are
+// durable. Errors from platforms that refuse directory fsync (some
+// filesystems return EINVAL) are ignored — the rename itself is still
+// atomic there.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !os.IsPermission(err) {
+		// Best effort: directory fsync is advisory on platforms that
+		// reject it; the atomic rename above already happened.
+		return nil
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package storage
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// A generation snapshot file is a section container: a fixed magic header,
+// the named binary sections laid out back to back, and a trailing offset
+// index so a reader can locate (and CRC-verify) each section with one
+// slice — no re-parsing, no re-indexing. The layout is mmap-friendly:
+// every section is a contiguous byte range addressed by (offset, length),
+// and loading is "read the file, verify, re-point slices".
+//
+//	+------------------+
+//	| magic "QSNAPv1\n"|  8 bytes
+//	| section 0 bytes  |
+//	| section 1 bytes  |
+//	| ...              |
+//	| index (JSON)     |  [{name, off, len, crc}, ...]
+//	| index CRC        |  4 bytes, little endian, CRC-32 of the index
+//	| index length     |  4 bytes, little endian
+//	| magic "QIDXv1\n\n"| 8 bytes
+//	+------------------+
+
+const (
+	containerMagic = "QSNAPv1\n"
+	indexMagic     = "QIDXv1\n\n"
+)
+
+// sectionMeta locates one section inside the container.
+type sectionMeta struct {
+	Name string `json:"name"`
+	Off  int64  `json:"off"`
+	Len  int64  `json:"len"`
+	CRC  uint32 `json:"crc"`
+}
+
+// ContainerWriter streams a section container to an underlying writer.
+// Sections are written in call order; Finish appends the index. The writer
+// never seeks, so it composes with WriteFileAtomic's temp file directly.
+type ContainerWriter struct {
+	w   io.Writer
+	off int64
+	idx []sectionMeta
+}
+
+// NewContainerWriter starts a container on w by writing the header.
+func NewContainerWriter(w io.Writer) (*ContainerWriter, error) {
+	if _, err := io.WriteString(w, containerMagic); err != nil {
+		return nil, fmt.Errorf("storage: container header: %w", err)
+	}
+	return &ContainerWriter{w: w, off: int64(len(containerMagic))}, nil
+}
+
+// Section streams one named section: write receives a writer that counts
+// and checksums the bytes on the way through. Section names must be unique
+// within one container.
+func (cw *ContainerWriter) Section(name string, write func(io.Writer) error) error {
+	for _, m := range cw.idx {
+		if m.Name == name {
+			return fmt.Errorf("storage: duplicate container section %q", name)
+		}
+	}
+	crc := crc32.NewIEEE()
+	cnt := &countingWriter{w: io.MultiWriter(cw.w, crc)}
+	if err := write(cnt); err != nil {
+		return fmt.Errorf("storage: container section %q: %w", name, err)
+	}
+	cw.idx = append(cw.idx, sectionMeta{
+		Name: name, Off: cw.off, Len: cnt.n, CRC: crc.Sum32(),
+	})
+	cw.off += cnt.n
+	return nil
+}
+
+// Finish writes the trailing index. The container is not valid until
+// Finish returns nil.
+func (cw *ContainerWriter) Finish() error {
+	idx, err := json.Marshal(cw.idx)
+	if err != nil {
+		return fmt.Errorf("storage: container index: %w", err)
+	}
+	if _, err := cw.w.Write(idx); err != nil {
+		return fmt.Errorf("storage: container index: %w", err)
+	}
+	var trailer [8]byte
+	binary.LittleEndian.PutUint32(trailer[0:4], crc32.ChecksumIEEE(idx))
+	binary.LittleEndian.PutUint32(trailer[4:8], uint32(len(idx)))
+	if _, err := cw.w.Write(trailer[:]); err != nil {
+		return fmt.Errorf("storage: container index: %w", err)
+	}
+	if _, err := io.WriteString(cw.w, indexMagic); err != nil {
+		return fmt.Errorf("storage: container index: %w", err)
+	}
+	return nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Container is a parsed, verified section container over one in-memory
+// byte slice. Section returns sub-slices of that same backing array — the
+// "slice re-point" load path: decoding a section may alias its bytes
+// rather than copying them.
+type Container struct {
+	data     []byte
+	sections map[string]sectionMeta
+}
+
+// OpenContainer parses and fully verifies a container: both magics, index
+// bounds, and every section's CRC. A container that fails any check is
+// rejected whole — the durability contract is that the manifest only ever
+// names snapshots whose write completed, so a bad container is real
+// corruption, reported loudly.
+func OpenContainer(data []byte) (*Container, error) {
+	if len(data) < len(containerMagic)+8+len(indexMagic) {
+		return nil, fmt.Errorf("storage: container truncated (%d bytes)", len(data))
+	}
+	if string(data[:len(containerMagic)]) != containerMagic {
+		return nil, fmt.Errorf("storage: bad container magic")
+	}
+	if string(data[len(data)-len(indexMagic):]) != indexMagic {
+		return nil, fmt.Errorf("storage: bad container index magic")
+	}
+	lenOff := len(data) - len(indexMagic) - 4
+	idxLen := int(binary.LittleEndian.Uint32(data[lenOff:]))
+	crcOff := lenOff - 4
+	idxOff := crcOff - idxLen
+	if idxLen < 0 || idxOff < len(containerMagic) {
+		return nil, fmt.Errorf("storage: container index out of bounds")
+	}
+	idxCRC := binary.LittleEndian.Uint32(data[crcOff:lenOff])
+	if crc32.ChecksumIEEE(data[idxOff:crcOff]) != idxCRC {
+		return nil, fmt.Errorf("storage: container index CRC mismatch")
+	}
+	var idx []sectionMeta
+	if err := json.Unmarshal(data[idxOff:crcOff], &idx); err != nil {
+		return nil, fmt.Errorf("storage: container index: %w", err)
+	}
+	c := &Container{data: data, sections: make(map[string]sectionMeta, len(idx))}
+	for _, m := range idx {
+		if m.Off < int64(len(containerMagic)) || m.Len < 0 || m.Off+m.Len > int64(idxOff) {
+			return nil, fmt.Errorf("storage: container section %q out of bounds", m.Name)
+		}
+		if crc := crc32.ChecksumIEEE(data[m.Off : m.Off+m.Len]); crc != m.CRC {
+			return nil, fmt.Errorf("storage: container section %q CRC mismatch", m.Name)
+		}
+		c.sections[m.Name] = m
+	}
+	return c, nil
+}
+
+// Section returns the named section's bytes (aliasing the container's
+// backing slice) and whether it exists.
+func (c *Container) Section(name string) ([]byte, bool) {
+	m, ok := c.sections[name]
+	if !ok {
+		return nil, false
+	}
+	return c.data[m.Off : m.Off+m.Len], true
+}
+
+// SectionNames lists the container's sections (for diagnostics).
+func (c *Container) SectionNames() []string {
+	out := make([]string, 0, len(c.sections))
+	for name := range c.sections {
+		out = append(out, name)
+	}
+	return out
+}

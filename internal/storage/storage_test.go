@@ -1,0 +1,412 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileAtomicReplacesWhole(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.json")
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "generation-1")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A failed write leaves the previous file byte-identical and no temp
+	// droppings behind.
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		io.WriteString(w, "half-written genera")
+		return fmt.Errorf("simulated crash")
+	}); err == nil {
+		t.Fatal("expected error from failed write")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "generation-1" {
+		t.Fatalf("previous snapshot destroyed: %q", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func buildContainer(t *testing.T, sections map[string]string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	cw, err := NewContainerWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic order for the test.
+	for _, name := range []string{"catalog", "graph", "views"} {
+		body, ok := sections[name]
+		if !ok {
+			continue
+		}
+		if err := cw.Section(name, func(w io.Writer) error {
+			_, err := io.WriteString(w, body)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestContainerRoundTrip(t *testing.T) {
+	sections := map[string]string{"catalog": "CATDATA", "graph": "", "views": "[]"}
+	data := buildContainer(t, sections)
+	c, err := OpenContainer(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range sections {
+		got, ok := c.Section(name)
+		if !ok {
+			t.Fatalf("section %q missing", name)
+		}
+		if string(got) != want {
+			t.Errorf("section %q = %q, want %q", name, got, want)
+		}
+	}
+	if _, ok := c.Section("absent"); ok {
+		t.Error("absent section reported present")
+	}
+}
+
+func TestContainerRejectsCorruption(t *testing.T) {
+	data := buildContainer(t, map[string]string{"catalog": "CATDATA", "graph": "GRAPH"})
+	// Every single-byte flip anywhere in the file must be detected: either
+	// a magic/index failure or a section CRC mismatch.
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0xff
+		if _, err := OpenContainer(mut); err == nil {
+			t.Fatalf("byte flip at offset %d accepted", i)
+		}
+	}
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := OpenContainer(data[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+}
+
+func TestWALAppendReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal-0.log")
+	w, err := CreateWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Epoch: 1, Kind: 1, Payload: []byte("alpha")},
+		{Epoch: 2, Kind: 2, Payload: nil},
+		{Epoch: 3, Kind: 7, Payload: bytes.Repeat([]byte{0, 255, 10}, 100)},
+	}
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	w2, got, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+	}
+	for i, r := range recs {
+		if got[i].Epoch != r.Epoch || got[i].Kind != r.Kind || !bytes.Equal(got[i].Payload, r.Payload) {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], r)
+		}
+	}
+}
+
+// TestWALCrashInjection is the crash suite of the issue: the tail record is
+// truncated at EVERY byte boundary, and separately corrupted at every byte
+// offset, and recovery must land exactly on the last committed epoch —
+// every earlier record intact, the torn record gone, and the log usable
+// for further appends.
+func TestWALCrashInjection(t *testing.T) {
+	dir := t.TempDir()
+	ref := filepath.Join(dir, "ref.log")
+	w, err := CreateWAL(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Epoch: 1, Kind: 1, Payload: []byte("committed-one")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Epoch: 2, Kind: 2, Payload: []byte("committed-two")}); err != nil {
+		t.Fatal(err)
+	}
+	tailStart := int64(len(walMagic)) + w.Size() // Size excludes the magic; cuts are file offsets
+	if err := w.Append(Record{Epoch: 3, Kind: 3, Payload: []byte("the-tail-record-that-may-tear")}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	full, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(t *testing.T, name string, data []byte, wantRecords int, wantEpoch uint64) {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		wal, recs, err := OpenWAL(path)
+		if err != nil {
+			t.Fatalf("recovery failed: %v", err)
+		}
+		if len(recs) != wantRecords {
+			t.Fatalf("recovered %d records, want %d", len(recs), wantRecords)
+		}
+		if wantRecords > 0 && recs[len(recs)-1].Epoch != wantEpoch {
+			t.Fatalf("recovered to epoch %d, want %d", recs[len(recs)-1].Epoch, wantEpoch)
+		}
+		// The log must stay appendable after recovery, and the new record
+		// must replay cleanly on a further reopen.
+		if err := wal.Append(Record{Epoch: wantEpoch + 1, Kind: 9, Payload: []byte("post-crash")}); err != nil {
+			t.Fatal(err)
+		}
+		wal.Close()
+		_, recs2, err := OpenWAL(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs2) != wantRecords+1 || recs2[len(recs2)-1].Epoch != wantEpoch+1 {
+			t.Fatalf("post-recovery append lost: %d records", len(recs2))
+		}
+		os.Remove(path)
+	}
+
+	// Truncation at every byte boundary inside the tail record: anything
+	// short of the full record recovers 2 records at epoch 2; the full
+	// file recovers all 3.
+	for cut := tailStart; cut <= int64(len(full)); cut++ {
+		want, epoch := 2, uint64(2)
+		if cut == int64(len(full)) {
+			want, epoch = 3, 3
+		}
+		check(t, fmt.Sprintf("trunc-%d.log", cut), full[:cut], want, epoch)
+	}
+
+	// Corruption at every byte offset inside the tail record: the CRC (or
+	// the length bound) must reject it, recovering 2 records. A flip in
+	// the length field can only make the record short/overlong — never a
+	// valid different record.
+	for off := tailStart; off < int64(len(full)); off++ {
+		mut := append([]byte(nil), full...)
+		mut[off] ^= 0xff
+		check(t, fmt.Sprintf("corrupt-%d.log", off), mut, 2, 2)
+	}
+
+	// Truncation inside the magic header itself: a torn CreateWAL caught
+	// before its fsync (the manifest can still name the file — Publish
+	// creates the WAL before committing the manifest). Recovery completes
+	// the header, leaving an empty, appendable log; a non-prefix header
+	// stays rejected.
+	for cut := 0; cut < len(walMagic); cut++ {
+		check(t, fmt.Sprintf("header-%d.log", cut), full[:cut], 0, 0)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "garbage.log"), []byte("not"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenWAL(filepath.Join(dir, "garbage.log")); err == nil {
+		t.Fatal("a non-WAL file must be rejected, not repaired")
+	}
+}
+
+func TestStoreLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Epoch() != 0 || len(s.Records()) != 0 {
+		t.Fatalf("fresh store: epoch=%d records=%d", s.Epoch(), len(s.Records()))
+	}
+	if _, ok, err := s.Snapshot(); err != nil || ok {
+		t.Fatalf("fresh store has a snapshot? ok=%v err=%v", ok, err)
+	}
+	for i := 1; i <= 3; i++ {
+		epoch, err := s.Append(1, []byte(fmt.Sprintf("mutation-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if epoch != uint64(i) {
+			t.Fatalf("append %d stamped epoch %d", i, epoch)
+		}
+	}
+	s.Close()
+
+	// Reopen: the tail replays with the same epochs and payloads.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if len(s2.Records()) != 3 || s2.Epoch() != 3 {
+		t.Fatalf("reopen: %d records, epoch %d", len(s2.Records()), s2.Epoch())
+	}
+	for i, r := range s2.Records() {
+		want := fmt.Sprintf("mutation-%d", i+1)
+		if r.Epoch != uint64(i+1) || r.Kind != 1 || string(r.Payload) != want {
+			t.Errorf("record %d = %+v, want epoch %d payload %q", i, r, i+1, want)
+		}
+	}
+}
+
+func TestStorePublish(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(1, []byte("pre-checkpoint")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Publish(func(sa SectionAdder) error {
+		return sa.Section("state", func(w io.Writer) error {
+			_, err := io.WriteString(w, "folded-state-at-epoch-1")
+			return err
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if s.SnapshotEpoch() != 1 {
+		t.Fatalf("snapshot epoch = %d, want 1", s.SnapshotEpoch())
+	}
+	if epoch, err := s.Append(2, []byte("post-checkpoint")); err != nil || epoch != 2 {
+		t.Fatalf("post-publish append: epoch=%d err=%v", epoch, err)
+	}
+	s.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	c, ok, err := s2.Snapshot()
+	if err != nil || !ok {
+		t.Fatalf("snapshot after reopen: ok=%v err=%v", ok, err)
+	}
+	body, _ := c.Section("state")
+	if string(body) != "folded-state-at-epoch-1" {
+		t.Errorf("snapshot body = %q", body)
+	}
+	if len(s2.Records()) != 1 || s2.Records()[0].Epoch != 2 || s2.Epoch() != 2 {
+		t.Fatalf("tail after reopen: %d records, epoch %d", len(s2.Records()), s2.Epoch())
+	}
+	// Exactly one generation's files remain (plus MANIFEST): the previous
+	// WAL was removed at publish.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	if len(names) != 3 {
+		t.Errorf("directory holds %v, want MANIFEST + one snapshot + one wal", names)
+	}
+}
+
+// TestStorePublishSameEpoch: publishing twice without an intervening append
+// re-publishes at the same epoch — the snapshot is atomically replaced, the
+// empty WAL is kept (no name collision), and a fresh store's first manifest
+// learns the snapshot name. The engine hits this when a checkpoint persists
+// snapshot-only state (view definitions) with nothing new in the log.
+func TestStorePublishSameEpoch(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write := func(body string) func(SectionAdder) error {
+		return func(sa SectionAdder) error {
+			return sa.Section("state", func(w io.Writer) error {
+				_, err := io.WriteString(w, body)
+				return err
+			})
+		}
+	}
+	// Fresh store, epoch 0, no appends at all: both publishes must succeed
+	// and the second body must win.
+	if err := s.Publish(write("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Publish(write("second")); err != nil {
+		t.Fatalf("same-epoch re-publish: %v", err)
+	}
+	s.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	c, ok, err := s2.Snapshot()
+	if err != nil || !ok {
+		t.Fatalf("snapshot after same-epoch publishes: ok=%v err=%v", ok, err)
+	}
+	if body, _ := c.Section("state"); string(body) != "second" {
+		t.Errorf("snapshot body = %q, want the re-published state", body)
+	}
+	if s2.Epoch() != 0 || len(s2.Records()) != 0 {
+		t.Fatalf("reopen: epoch=%d records=%d, want a clean epoch-0 generation",
+			s2.Epoch(), len(s2.Records()))
+	}
+}
+
+// TestStoreIgnoresStrayFiles pins the crash-between-publish-steps
+// behaviour: files not named by the manifest (orphan snapshots or WALs
+// from an interrupted publish) are ignored at open.
+func TestStoreIgnoresStrayFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(1, []byte("real")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Simulate a crash that left a half-written snapshot and an orphan WAL.
+	os.WriteFile(filepath.Join(dir, "gen-99.snap"), []byte("garbage"), 0o644)
+	if w, err := CreateWAL(filepath.Join(dir, "wal-99.log")); err == nil {
+		w.Close()
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if len(s2.Records()) != 1 || s2.Epoch() != 1 {
+		t.Fatalf("stray files changed recovery: %d records, epoch %d", len(s2.Records()), s2.Epoch())
+	}
+}

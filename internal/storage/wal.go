@@ -1,0 +1,196 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// The epoch WAL: every mutation committed after the current generation
+// snapshot is appended as one self-delimiting record and fsync'd before
+// the writer publishes the mutation to readers (log-then-publish). A
+// record is:
+//
+//	u32  length of the rest of the record (epoch + kind + payload)
+//	u32  CRC-32 (IEEE) of the rest of the record
+//	u64  epoch this record commits
+//	u8   kind (opaque to storage; the engine defines its record kinds)
+//	...  payload
+//
+// all little-endian. Replay walks the records front to back, verifying
+// each CRC; a record that is short (the file ends inside it) or fails its
+// CRC is a torn tail — the crash interrupted the append before the fsync
+// returned, so the mutation never committed. Recovery truncates the file
+// back to the last good record and resumes from there: the store reopens
+// at exactly the last committed epoch instead of refusing to start.
+
+const walMagic = "QWALv1\n\n"
+
+// walHeaderSize is the per-record framing overhead: length + CRC.
+const walHeaderSize = 8
+
+// Record is one committed WAL entry.
+type Record struct {
+	Epoch   uint64
+	Kind    byte
+	Payload []byte
+}
+
+// WAL is an append-only record log. Appends are serialised by the caller
+// (the engine's single-writer lock); Replay happens once, at open.
+type WAL struct {
+	f    *os.File
+	path string
+	size int64
+}
+
+// CreateWAL creates a fresh, empty WAL file (failing if one already
+// exists), writes its magic header and makes it durable.
+func CreateWAL(path string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: create wal: %w", err)
+	}
+	if _, err := f.WriteString(walMagic); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: create wal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: create wal: %w", err)
+	}
+	return &WAL{f: f, path: path, size: int64(len(walMagic))}, nil
+}
+
+// OpenWAL opens an existing WAL, replays its committed records and
+// truncates any torn tail so subsequent appends extend the last committed
+// record. The returned records are the log's full committed contents.
+func OpenWAL(path string) (*WAL, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("storage: open wal: %w", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("storage: open wal: %w", err)
+	}
+	if len(data) < len(walMagic) {
+		// A WAL's magic is fsync'd at creation before the manifest ever
+		// names the file, so a shorter-than-magic file can only be a torn
+		// creation caught mid-write: recover it to a fresh empty WAL —
+		// provided what IS there is a prefix of the magic; anything else is
+		// not a WAL and refusing beats silently destroying it.
+		if string(data) != walMagic[:len(data)] {
+			f.Close()
+			return nil, nil, fmt.Errorf("storage: %s is not a WAL file", path)
+		}
+		if err := rewriteWALHeader(f); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return &WAL{f: f, path: path, size: int64(len(walMagic))}, nil, nil
+	}
+	if string(data[:len(walMagic)]) != walMagic {
+		f.Close()
+		return nil, nil, fmt.Errorf("storage: %s is not a WAL file", path)
+	}
+	records, good := replayRecords(data[len(walMagic):])
+	end := int64(len(walMagic)) + good
+	if end < int64(len(data)) {
+		// Torn tail: the crash interrupted the final append before its
+		// fsync, so that mutation never committed. Truncate back to the
+		// last committed record.
+		if err := f.Truncate(end); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("storage: truncate torn wal tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("storage: truncate torn wal tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(end, 0); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("storage: open wal: %w", err)
+	}
+	return &WAL{f: f, path: path, size: end}, records, nil
+}
+
+// rewriteWALHeader completes a torn WAL creation: the full magic is
+// rewritten from offset 0 and fsync'd, leaving a valid empty log.
+func rewriteWALHeader(f *os.File) error {
+	if _, err := f.WriteAt([]byte(walMagic), 0); err != nil {
+		return fmt.Errorf("storage: repair wal header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("storage: repair wal header: %w", err)
+	}
+	if _, err := f.Seek(int64(len(walMagic)), 0); err != nil {
+		return fmt.Errorf("storage: repair wal header: %w", err)
+	}
+	return nil
+}
+
+// replayRecords decodes committed records from the body (post-magic) of a
+// WAL, returning them and the byte length of the committed prefix. The
+// first short or CRC-failing record ends the committed prefix.
+func replayRecords(body []byte) ([]Record, int64) {
+	var records []Record
+	off := int64(0)
+	for {
+		rest := body[off:]
+		if len(rest) < walHeaderSize {
+			break
+		}
+		length := binary.LittleEndian.Uint32(rest[0:4])
+		crc := binary.LittleEndian.Uint32(rest[4:8])
+		if length < 9 || int64(len(rest)) < walHeaderSize+int64(length) {
+			break // torn: the record body never fully reached the disk
+		}
+		rec := rest[walHeaderSize : walHeaderSize+int64(length)]
+		if crc32.ChecksumIEEE(rec) != crc {
+			break // torn or corrupt: not a committed record
+		}
+		payload := make([]byte, len(rec)-9)
+		copy(payload, rec[9:])
+		records = append(records, Record{
+			Epoch:   binary.LittleEndian.Uint64(rec[0:8]),
+			Kind:    rec[8],
+			Payload: payload,
+		})
+		off += walHeaderSize + int64(length)
+	}
+	return records, off
+}
+
+// Append commits one record: the framed bytes are written and fsync'd
+// before Append returns, so a successful Append IS the commit point — a
+// crash after it replays the record, a crash during it truncates it.
+func (w *WAL) Append(rec Record) error {
+	buf := make([]byte, walHeaderSize+9+len(rec.Payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(9+len(rec.Payload)))
+	binary.LittleEndian.PutUint64(buf[8:16], rec.Epoch)
+	buf[16] = rec.Kind
+	copy(buf[17:], rec.Payload)
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(buf[8:]))
+	if _, err := w.f.Write(buf); err != nil {
+		return fmt.Errorf("storage: wal append: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("storage: wal append: sync: %w", err)
+	}
+	w.size += int64(len(buf))
+	return nil
+}
+
+// Size returns the WAL's committed record bytes (the magic header
+// excluded, so an empty log reports 0) — the checkpointer's fold trigger.
+func (w *WAL) Size() int64 { return w.size - int64(len(walMagic)) }
+
+// Path returns the WAL's file path.
+func (w *WAL) Path() string { return w.path }
+
+// Close closes the underlying file.
+func (w *WAL) Close() error { return w.f.Close() }

@@ -866,6 +866,108 @@ func BenchmarkTopKPrunedQueryExec(b *testing.B) {
 	b.ReportMetric(float64(skipped), "branches-skipped")
 }
 
+// --- Join-planner benchmarks -------------------------------------------------
+//
+// The cost-based planner tentpole: the same branch batches on the 120-table
+// synthetic catalog with the planner off (the naive first-connected join
+// order — the executable spec) versus on (greedy order by estimated
+// cardinality from the value-index segment statistics, plus the cross-branch
+// subplan cache). The metamorphic suite (internal/relstore/planner_test.go)
+// and FuzzPlanEquivalence prove the answers byte-identical; this pair proves
+// the reorder is a real win on workloads where the naive order builds a large
+// intermediate before reaching the selective atom. CI runs the pair and the
+// CSE benchmark once per push; cmd/qbench -exp plan prints the comparison
+// standalone with the planner counters.
+
+// benchPlannerWorkload is the reorder-sensitive batch: three-atom chain joins
+// on name whose ONLY selective condition (an exact accession match, ~1 row)
+// sits on the LAST atom. The naive order materialises the full t0⨝t1
+// intermediate first; the cost-based order starts at the selective atom.
+func benchPlannerWorkload(cat *relstore.Catalog) []*relstore.ConjunctiveQuery {
+	names := cat.RelationNames()
+	var queries []*relstore.ConjunctiveQuery
+	for i := 0; i+2 < len(names); i += 3 {
+		last := cat.Table(names[i+2])
+		sel := last.Rows[0][last.Relation.AttrIndex("acc")]
+		queries = append(queries, &relstore.ConjunctiveQuery{
+			Atoms: []relstore.Atom{
+				{Relation: names[i], Alias: "t0"},
+				{Relation: names[i+1], Alias: "t1"},
+				{Relation: names[i+2], Alias: "t2"},
+			},
+			Joins: []relstore.JoinCond{
+				{LeftAlias: "t0", LeftAttr: "name", RightAlias: "t1", RightAttr: "name"},
+				{LeftAlias: "t1", LeftAttr: "name", RightAlias: "t2", RightAttr: "name"},
+			},
+			Selects: []relstore.SelCond{{Alias: "t2", Attr: "acc", Op: relstore.OpEq, Value: sel}},
+			Project: []relstore.ProjCol{
+				{Alias: "t0", Attr: "acc", As: "acc"}, {Alias: "t2", Attr: "name", As: "name"}},
+		})
+	}
+	return queries
+}
+
+func benchPlannerQueryExec(b *testing.B, planned bool) {
+	cat, _ := benchShardCatalog(b, 0)
+	cat.UsePlanner(planned)
+	queries := benchPlannerWorkload(cat)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := relstore.ExecuteBatch(cat, queries, runtime.GOMAXPROCS(0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnplannedQueryExec(b *testing.B) { benchPlannerQueryExec(b, false) }
+func BenchmarkPlannedQueryExec(b *testing.B)   { benchPlannerQueryExec(b, true) }
+
+// BenchmarkCSEMaterialise times a batch shaped like one view materialisation
+// with heavy branch overlap — three projection variants of every adjacent-pair
+// join, so each two-atom join prefix is shared by three branches — through
+// PlanBatch and its subplan cache, and reports how much sharing the cache
+// found and served ("shared-subtrees", "cse-hits").
+func BenchmarkCSEMaterialise(b *testing.B) {
+	cat, _ := benchShardCatalog(b, 0)
+	names := cat.RelationNames()
+	var queries []*relstore.ConjunctiveQuery
+	for i := 0; i+1 < len(names); i++ {
+		shape := func(proj []relstore.ProjCol) *relstore.ConjunctiveQuery {
+			return &relstore.ConjunctiveQuery{
+				Atoms: []relstore.Atom{{Relation: names[i], Alias: "t0"}, {Relation: names[i+1], Alias: "t1"}},
+				Joins: []relstore.JoinCond{{LeftAlias: "t0", LeftAttr: "name", RightAlias: "t1", RightAttr: "name"}},
+				Selects: []relstore.SelCond{
+					{Alias: "t0", Attr: "description", Op: relstore.OpContains, Value: "pro"}},
+				Project: proj,
+			}
+		}
+		queries = append(queries,
+			shape([]relstore.ProjCol{{Alias: "t0", Attr: "acc", As: "acc"}}),
+			shape([]relstore.ProjCol{{Alias: "t1", Attr: "acc", As: "acc"}}),
+			shape([]relstore.ProjCol{
+				{Alias: "t0", Attr: "name", As: "n0"}, {Alias: "t1", Attr: "name", As: "n1"}}),
+		)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var st relstore.PlanStats
+	for i := 0; i < b.N; i++ {
+		bp, err := relstore.PlanBatch(cat, queries)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for qi := 0; qi < bp.Len(); qi++ {
+			if _, err := bp.Execute(qi); err != nil {
+				b.Fatal(err)
+			}
+		}
+		st = bp.Stats()
+	}
+	b.ReportMetric(float64(st.SharedSubtrees), "shared-subtrees")
+	b.ReportMetric(float64(st.CSEHits), "cse-hits")
+}
+
 // BenchmarkColdStartRebuild vs BenchmarkColdStartMapReplay: the cost of
 // bringing the 120-table synthetic catalog to a query-ready state, either
 // by re-ingesting every table (tokenising rows, building every inverted

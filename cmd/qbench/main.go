@@ -3,7 +3,7 @@
 // reports. Use -exp to run a single experiment.
 //
 //	qbench            # run everything
-//	qbench -exp fig7  # one of: table1 fig6 fig7 fig8 fig10 fig11 fig12 table2 ablation propagation parallel snapshot valueindex shard cache stream
+//	qbench -exp fig7  # one of: table1 fig6 fig7 fig8 fig10 fig11 fig12 table2 ablation propagation parallel snapshot valueindex shard cache stream plan
 package main
 
 import (
@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig6, fig7, fig8, table1, fig10, fig11, fig12, table2, ablation, parallel, snapshot, valueindex, shard, cache, stream")
+	exp := flag.String("exp", "all", "experiment to run: all, fig6, fig7, fig8, table1, fig10, fig11, fig12, table2, ablation, parallel, snapshot, valueindex, shard, cache, stream, plan")
 	flag.Parse()
 
 	runners := []struct {
@@ -47,6 +47,7 @@ func main() {
 		{"shard", shard},
 		{"cache", cache},
 		{"stream", stream},
+		{"plan", plan},
 	}
 	ran := false
 	for _, r := range runners {
@@ -318,6 +319,34 @@ func stream() error {
 		}
 		fmt.Printf("%-14s %-9d %12v %11.1fMB %10s %10s %14s\n",
 			r.Executor, r.Branches, r.ExecTime, float64(r.AllocBytes)/(1<<20), executed, skipped, pulled)
+	}
+	return nil
+}
+
+// plan compares the naive first-connected join order against the cost-based
+// planner with cross-branch CSE on a reorder-sensitive chain-join workload —
+// the standalone counterpart of Benchmark{Unplanned,Planned}QueryExec. Every
+// planned branch is verified byte-identical to the unplanned spec (standalone
+// and through the subplan cache) before anything is timed.
+func plan() error {
+	rows, err := eval.RunPlan()
+	if err != nil {
+		return err
+	}
+	header(fmt.Sprintf("Join planner: cost-based order + cross-branch CSE vs naive order (120 tables, GOMAXPROCS=%d)",
+		runtime.GOMAXPROCS(0)))
+	fmt.Printf("%-11s %-9s %12s %10s %10s %8s %9s %9s\n",
+		"Mode", "Branches", "ExecTime", "Alloc", "Reordered", "Shared", "Computed", "CSE hits")
+	for _, r := range rows {
+		reordered, shared, computed, hits := "-", "-", "-", "-"
+		if r.Mode == "planned" {
+			reordered = fmt.Sprint(r.BranchesReordered)
+			shared = fmt.Sprint(r.SharedSubtrees)
+			computed = fmt.Sprint(r.SubplansComputed)
+			hits = fmt.Sprint(r.CSEHits)
+		}
+		fmt.Printf("%-11s %-9d %12v %9.1fMB %10s %8s %9s %9s\n",
+			r.Mode, r.Branches, r.ExecTime, float64(r.AllocBytes)/(1<<20), reordered, shared, computed, hits)
 	}
 	return nil
 }

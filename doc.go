@@ -153,6 +153,50 @@
 // workload (CI runs the trio once per push); cmd/qbench -exp stream
 // prints the comparison with the early-termination counters.
 //
+// # Cost-based join planning and cross-branch CSE
+//
+// Branch execution is planned before it runs (relstore planner, on by
+// default; core.Options.PlannerOff reverts to the naive order — the knob is
+// inverted so the zero value keeps planning on). Planning binds every
+// condition once (Validate first, so unknown aliases and attributes are
+// rejected up front in every mode), pushes selections AND same-alias join
+// conditions (`t.a = t.b` — self-filters the old join-binding loops silently
+// dropped) down to their atom's scan, estimates each atom's post-selection
+// cardinality exactly from the value index's per-segment statistics (the
+// distinct-value entries with row counts that already serve FindValues;
+// binary search per equality selection, a normalised sweep per containment —
+// segments cover non-empty values only, an estimation caveat, never a result
+// error), and orders the joins greedily by estimated intermediate
+// cardinality, System-R style: start at the smallest estimated atom, then
+// repeatedly join the connected atom minimising |current| x |candidate| x
+// join selectivity (1/max(distinct) per equi-join, a fixed 1/2 per similarity
+// join), hash builds on the smaller input. Join order cannot change a single
+// result byte — every ResultSet is sorted and set-deduplicated under one
+// total order — so the naive first-connected traversal survives as the
+// unplanned executable specification and the planner is pinned byte-identical
+// to it (internal/relstore/planner_test.go, FuzzPlanEquivalence), exactly the
+// ScanFindValues / MaterialisedExec pattern. Ties break on a canonical
+// atom key, so branches whose aliases differ still choose aligned orders.
+//
+// On top of the per-branch plan, each view materialisation plans its branch
+// batch as one unit (relstore.PlanBatch): join prefixes shared across
+// branches are detected by a position-anchored canonical signature (relation,
+// bound conditions and intra-prefix joins per step — alias-independent), and
+// every prefix shared by two or more branches is materialised ONCE into a
+// per-materialisation subplan cache; the other branches replay the pinned
+// rows through their remaining operators (common-subexpression elimination).
+// The CSE scope is one materialisation — cached rows never outlive the
+// catalog generation that produced them; caching ACROSS materialisations is
+// the epoch-keyed query cache's job below, whose options fingerprint includes
+// the planner knob. Explain output names the ordering mode and per-step
+// operators with estimated cardinalities; Q.PlanStats (served on GET /stats)
+// accumulates branches planned/reordered, shared subtrees, subplans computed
+// and CSE hits. Benchmark{Unplanned,Planned}QueryExec and
+// BenchmarkCSEMaterialise quantify the reorder and sharing wins on the
+// 120-table chain-join workload (CI runs them once per push); cmd/qbench
+// -exp plan prints the comparison with the planner counters after verifying
+// byte-identity.
+//
 // # Query cache and request coalescing
 //
 // A serving layer (internal/qcache) sits between the HTTP server and the

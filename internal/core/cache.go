@@ -97,10 +97,10 @@ func (qc *queryCaches) setLiveEpoch(epoch uint64) {
 // per-view k is part of the materialisation key itself; Parallelism and
 // Shards are excluded because answers are byte-identical at any setting).
 func optionsFingerprint(o Options) string {
-	return fmt.Sprintf("mt=%g;mm=%d;cat=%g;act=%g;approx=%t;scan=%t;mat=%t;topk=%t",
+	return fmt.Sprintf("mt=%g;mm=%d;cat=%g;act=%g;approx=%t;scan=%t;mat=%t;topk=%t;plan=%t",
 		o.MatchThreshold, o.MaxMatchesPerKeyword, o.ColumnAlignThreshold,
 		o.AssocCostThreshold, o.UseApproxSteiner, o.ScanFindValues,
-		o.MaterialisedExec, o.TopKPrune)
+		o.MaterialisedExec, o.TopKPrune, o.PlannerOff)
 }
 
 // matCacheKey canonicalises a keyword query for the materialisation cache:

@@ -87,6 +87,19 @@ type Options struct {
 	// that only ever read the top k. Ignored when MaterialisedExec forces
 	// the reference path.
 	TopKPrune bool
+	// PlannerOff disables the cost-based join planner and the cross-branch
+	// common-subexpression elimination of branch execution
+	// (relstore.UsePlanner(false)): every branch query then joins in the
+	// naive first-connected order and no subplan is shared across a view's
+	// branches — the unplanned executable spec the planner is verified
+	// against. The planner is ON by default (hence the inverted name: the
+	// zero value keeps it on — the knob the issue tracker calls
+	// Options.Planner). Join order and subplan reuse are byte-invisible in
+	// every view (internal/core/stream_test.go pins it); keep this off
+	// outside of debugging, the equivalence harnesses and A/B measurement.
+	// Like MaterialisedExec, the setting is part of the query-cache options
+	// fingerprint.
+	PlannerOff bool
 	// RawConfidences disables the confidence binning of §4 and feeds each
 	// matcher's real-valued confidence directly into the edge features (as
 	// a mismatch value, 1 − confidence). The paper warns this destabilises
@@ -327,6 +340,39 @@ type Q struct {
 	// instances). Set once by Open before the Q is shared; its store is
 	// accessed under writerMu thereafter. See durable.go.
 	persist *persistence
+
+	// planMu guards planStats, the instance-lifetime accumulation of the
+	// per-materialisation planner counters (join reordering, shared
+	// subtrees, CSE hits) served by PlanStats and the /stats endpoint.
+	planMu    sync.Mutex
+	planStats relstore.PlanStats
+}
+
+// PlanStats is one snapshot of the planner's counters — an alias of the
+// relstore type so servers need not import the storage layer directly.
+type PlanStats = relstore.PlanStats
+
+// PlanStats returns the accumulated planner counters across every view
+// materialisation this instance executed: branches planned and reordered by
+// the cost-based join planner, shared subtrees detected, subplans
+// materialised, and branch executions served from the cross-branch subplan
+// cache (CSE hits). All zero when Options.PlannerOff is set. Safe for
+// concurrent use.
+func (q *Q) PlanStats() PlanStats {
+	q.planMu.Lock()
+	defer q.planMu.Unlock()
+	return q.planStats
+}
+
+// addPlanStats folds one materialisation's planner counters into the
+// instance totals.
+func (q *Q) addPlanStats(s relstore.PlanStats) {
+	if s == (relstore.PlanStats{}) {
+		return
+	}
+	q.planMu.Lock()
+	q.planStats.Add(s)
+	q.planMu.Unlock()
 }
 
 // New constructs an empty Q system with the given options and the default
@@ -344,6 +390,7 @@ func New(opts Options) *Q {
 	}
 	q.Catalog.UseScanFindValues(o.ScanFindValues)
 	q.Catalog.UseMaterialisedExec(o.MaterialisedExec)
+	q.Catalog.UsePlanner(!o.PlannerOff)
 	q.Catalog.SetParallelism(o.Parallelism)
 	q.publishLocked()
 	return q

@@ -183,6 +183,7 @@ func openFrom(st *storage.Store, opts Options) (*Q, error) {
 		}
 		cat.UseScanFindValues(q.opts.ScanFindValues)
 		cat.UseMaterialisedExec(q.opts.MaterialisedExec)
+		cat.UsePlanner(!q.opts.PlannerOff)
 		cat.SetParallelism(q.opts.Parallelism)
 		graph, err := searchgraph.Load(bytes.NewReader(graphSec))
 		if err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"qint/internal/relstore"
 	"qint/internal/searchgraph"
 	"qint/internal/steiner"
 )
@@ -24,6 +25,12 @@ type Explanation struct {
 	Joins []string
 	// Keywords describes each keyword match used.
 	Keywords []string
+	// Plan describes the execution plan of the originating branch query,
+	// one line per atom in join order — the operator (scan, hash join,
+	// nested loop), pushed-down condition counts, and the estimated
+	// intermediate cardinality when the cost-based planner is on (the
+	// default). The first line names the ordering mode.
+	Plan []string
 }
 
 // Explain returns the provenance of the view answer at rowIdx, resolved
@@ -45,6 +52,9 @@ func (q *Q) Explain(v *View, rowIdx int) (*Explanation, error) {
 	}
 	ov := mat.ov
 	ex := &Explanation{Tree: tree, SQL: cq.SQL(), Cost: row.Cost}
+	if plan, perr := relstore.ExplainPlan(mat.st.cat, cq); perr == nil {
+		ex.Plan = plan
+	}
 	for _, eid := range tree.Edges {
 		e := ov.Edge(eid)
 		switch e.Kind {
@@ -73,6 +83,9 @@ func (e *Explanation) String() string {
 	}
 	for _, j := range e.Joins {
 		fmt.Fprintf(&b, "  join:    %s\n", j)
+	}
+	for _, p := range e.Plan {
+		fmt.Fprintf(&b, "  plan:    %s\n", p)
 	}
 	fmt.Fprintf(&b, "  sql:     %s", e.SQL)
 	return b.String()

@@ -27,8 +27,14 @@ func TestExplain(t *testing.T) {
 	if !strings.HasPrefix(ex.SQL, "SELECT") {
 		t.Errorf("SQL missing: %q", ex.SQL)
 	}
+	if len(ex.Plan) < 2 || !strings.Contains(ex.Plan[0], "cost-based") {
+		t.Errorf("plan lines missing or unplanned under default options: %q", ex.Plan)
+	}
+	if !strings.Contains(ex.Plan[1], "scan ") {
+		t.Errorf("plan step 1 = %q, want a scan operator line", ex.Plan)
+	}
 	s := ex.String()
-	for _, want := range []string{"cost", "keyword:", "sql:"} {
+	for _, want := range []string{"cost", "keyword:", "plan:", "sql:"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("String() missing %q:\n%s", want, s)
 		}

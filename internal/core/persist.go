@@ -78,6 +78,7 @@ func Load(r io.Reader) (*Q, error) {
 	}
 	cat.UseScanFindValues(q.opts.ScanFindValues)
 	cat.UseMaterialisedExec(q.opts.MaterialisedExec)
+	cat.UsePlanner(!q.opts.PlannerOff)
 	cat.SetParallelism(q.opts.Parallelism)
 	q.Catalog = cat
 	q.Graph = graph

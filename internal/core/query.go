@@ -337,16 +337,20 @@ func (q *Q) materializeAt(st *qstate, keywords []string, k, parallelism int) (*v
 
 // executeBranches is the execute phase of materialisation: the branch
 // queries (tree-cost order) stream their projected rows into the ranked
-// disjoint union. On the default path each branch compiles into a streaming
-// iterator pipeline (relstore.ExecuteStream via Execute — no intermediate
-// relation is materialised) and the branches fan across the bounded worker
-// pool, collected by query index so the union sees them in tree-cost order;
-// Options.MaterialisedExec forces the reference materialise-everything
-// executor instead, byte-identically. With Options.TopKPrune the scorer
-// additionally pulls branches serially in cost order and stops — skipping a
-// branch's execution entirely — once the running top-k bound is provably
-// unbeatable for it; the result then holds exactly the top-k rows (see the
-// knob's doc for the contract).
+// disjoint union. On the default path the batch is planned as a unit
+// (relstore.PlanBatch): each branch's joins are ordered by estimated
+// cardinality, join subtrees shared across branches execute once through the
+// per-materialisation subplan cache, and each branch compiles into a
+// streaming iterator pipeline (no intermediate relation is materialised
+// beyond the shared subplans). Branches fan across the bounded worker pool,
+// collected by query index so the union sees them in tree-cost order.
+// Options.PlannerOff reverts to per-branch execution in the naive spec join
+// order; Options.MaterialisedExec forces the reference
+// materialise-everything executor — all byte-identically. With
+// Options.TopKPrune the scorer additionally pulls branches serially in cost
+// order and stops — skipping a branch's execution entirely — once the
+// running top-k bound is provably unbeatable for it; the result then holds
+// exactly the top-k rows (see the knob's doc for the contract).
 func (q *Q) executeBranches(st *qstate, queries []*relstore.ConjunctiveQuery, k, workers int) (*relstore.UnionResult, error) {
 	prov := make([]string, len(queries))
 	for i, cq := range queries {
@@ -357,22 +361,51 @@ func (q *Q) executeBranches(st *qstate, queries []*relstore.ConjunctiveQuery, k,
 		// rows branches 0..i-1 produced. One execSem slot covers the run.
 		st.execSem <- struct{}{}
 		defer func() { <-st.execSem }()
-		result, _, err := relstore.ExecuteTopKUnion(st.cat, queries, k, prov)
-		return result, err
+		result, tkStats, err := relstore.ExecuteTopKUnion(st.cat, queries, k, prov)
+		if err != nil {
+			return nil, err
+		}
+		q.addPlanStats(tkStats.Plan)
+		return result, nil
 	}
 	results := make([]*relstore.ResultSet, len(queries))
-	err := runIndexed(len(queries), workers, func(i int) error {
-		st.execSem <- struct{}{}
-		defer func() { <-st.execSem }()
-		rs, err := relstore.Execute(st.cat, queries[i])
+	if !q.opts.PlannerOff && !q.opts.MaterialisedExec {
+		// Plan the batch as a unit: join orders are chosen per branch by
+		// estimated cardinality, and join subtrees shared across branches
+		// execute once through the per-materialisation subplan cache —
+		// concurrent branches coalesce on the cached subplan.
+		bp, err := relstore.PlanBatch(st.cat, queries)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		results[i] = rs
-		return nil
-	})
-	if err != nil {
-		return nil, err
+		err = runIndexed(len(queries), workers, func(i int) error {
+			st.execSem <- struct{}{}
+			defer func() { <-st.execSem }()
+			rs, err := bp.Execute(i)
+			if err != nil {
+				return err
+			}
+			results[i] = rs
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		q.addPlanStats(bp.Stats())
+	} else {
+		err := runIndexed(len(queries), workers, func(i int) error {
+			st.execSem <- struct{}{}
+			defer func() { <-st.execSem }()
+			rs, err := relstore.Execute(st.cat, queries[i])
+			if err != nil {
+				return err
+			}
+			results[i] = rs
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	branches := make([]relstore.Branch, len(queries))
 	for i, cq := range queries {

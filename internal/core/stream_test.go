@@ -95,6 +95,43 @@ func TestMaterialisedExecEquivalence(t *testing.T) {
 	}
 }
 
+// TestPlannerOffEquivalence pins the cost-based planner at the pipeline
+// level: whole views must be byte-identical between the default instance
+// (planner on — greedy join order, cross-branch CSE) and one with
+// Options.PlannerOff, and the default instance must accumulate PlanStats
+// while the unplanned one stays at zero.
+func TestPlannerOffEquivalence(t *testing.T) {
+	for _, c := range streamCorpora() {
+		t.Run(c.name, func(t *testing.T) {
+			planned := c.build(t, func(o *Options) {})
+			unplanned := c.build(t, func(o *Options) { o.PlannerOff = true })
+			for _, kw := range c.queries {
+				vp, err := planned.Query(kw)
+				if err != nil {
+					t.Fatalf("planned query %q: %v", kw, err)
+				}
+				vu, err := unplanned.Query(kw)
+				if err != nil {
+					t.Fatalf("unplanned query %q: %v", kw, err)
+				}
+				fp, fu := fingerprintView(vp), fingerprintView(vu)
+				if fp != fu {
+					t.Errorf("query %q: planned and unplanned views differ\nplanned:\n%s\nunplanned:\n%s", kw, fp, fu)
+				}
+				if len(vp.Trees()) == 0 {
+					t.Errorf("query %q produced no trees; equivalence is vacuous", kw)
+				}
+			}
+			if st := planned.PlanStats(); st.BranchesPlanned == 0 {
+				t.Error("planned instance accumulated no PlanStats")
+			}
+			if st := unplanned.PlanStats(); st != (PlanStats{}) {
+				t.Errorf("unplanned instance accumulated PlanStats %+v, want zero", st)
+			}
+		})
+	}
+}
+
 // TestTopKPruneEquivalence compares a pruned instance against the default:
 // everything except the untaken result tail must agree — trees, branch
 // queries, columns, α, and the ranked rows up to k, which is exactly what

@@ -1,0 +1,152 @@
+package eval
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"time"
+
+	"qint/internal/datasets"
+	"qint/internal/relstore"
+)
+
+// PlanRow is one planner mode of the join-planning experiment: total time
+// and bytes allocated to run the reorder-sensitive chain-join workload over
+// the 120-table synthetic catalog, plus the planner's own counters (zero in
+// unplanned mode).
+type PlanRow struct {
+	Mode       string // "unplanned", "planned"
+	Branches   int
+	ExecTime   time.Duration
+	AllocBytes uint64
+	// Planner observability (planned mode only): branches whose cost-based
+	// order differs from the naive spec order, and the cross-branch subplan
+	// cache's sharing counters.
+	BranchesReordered int64
+	SharedSubtrees    int64
+	SubplansComputed  int64
+	CSEHits           int64
+}
+
+// RunPlan compares the naive first-connected join order (the unplanned
+// executable spec) against the cost-based planner with cross-branch CSE on a
+// chain-join workload over the 120-table synthetic value catalog (the qbench
+// -exp plan experiment; Benchmark{Unplanned,Planned}QueryExec is the bench
+// counterpart). Before anything is timed, every branch's planned result —
+// standalone and through the shared-subtree batch — is verified byte-identical
+// to the unplanned one, so the comparison can never drift from the
+// equivalence contract.
+func RunPlan() ([]PlanRow, error) {
+	const nTables, rowsPer = 120, 200
+	tables, _ := datasets.SyntheticValueCorpus(nTables, rowsPer, 42)
+	cat := relstore.NewCatalogSharded(runtime.GOMAXPROCS(0))
+	for _, t := range tables {
+		if err := cat.AddTable(t); err != nil {
+			return nil, fmt.Errorf("eval: plan: %w", err)
+		}
+	}
+	cat.BuildValueIndex(runtime.GOMAXPROCS(0)) // planner statistics source
+	off := cat.Clone()
+	off.UsePlanner(false)
+	queries := planWorkload(cat)
+
+	// Correctness gate: per-branch planned/unplanned equivalence, standalone
+	// and through the batch's subplan cache.
+	bp, err := relstore.PlanBatch(cat, queries)
+	if err != nil {
+		return nil, fmt.Errorf("eval: plan: %w", err)
+	}
+	for i, q := range queries {
+		want, err := relstore.Execute(off, q)
+		if err != nil {
+			return nil, fmt.Errorf("eval: plan: %w", err)
+		}
+		got, err := relstore.Execute(cat, q)
+		if err != nil {
+			return nil, fmt.Errorf("eval: plan: %w", err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			return nil, fmt.Errorf("eval: plan: planner divergence on branch %d (%s)", i, q.SQL())
+		}
+		batched, err := bp.Execute(i)
+		if err != nil {
+			return nil, fmt.Errorf("eval: plan: %w", err)
+		}
+		if !reflect.DeepEqual(batched, want) {
+			return nil, fmt.Errorf("eval: plan: CSE divergence on branch %d (%s)", i, q.SQL())
+		}
+	}
+	stats := bp.Stats()
+
+	workers := runtime.GOMAXPROCS(0)
+	rows := make([]PlanRow, 0, 2)
+
+	elapsed, alloc, err := timedAlloc(func() error {
+		_, err := relstore.ExecuteBatch(off, queries, workers)
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("eval: plan: %w", err)
+	}
+	rows = append(rows, PlanRow{Mode: "unplanned", Branches: len(queries),
+		ExecTime: elapsed, AllocBytes: alloc})
+
+	elapsed, alloc, err = timedAlloc(func() error {
+		_, err := relstore.ExecuteBatch(cat, queries, workers)
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("eval: plan: %w", err)
+	}
+	rows = append(rows, PlanRow{Mode: "planned", Branches: len(queries),
+		ExecTime: elapsed, AllocBytes: alloc,
+		BranchesReordered: stats.BranchesReordered, SharedSubtrees: stats.SharedSubtrees,
+		SubplansComputed: stats.SubplansComputed, CSEHits: stats.CSEHits})
+	return rows, nil
+}
+
+// planWorkload is the reorder-sensitive branch batch: three-atom chain joins
+// on name whose only selective condition (an exact accession match) sits on
+// the LAST atom — the naive order materialises the full two-table join before
+// reaching it — plus three projection variants of every remaining adjacent
+// pair, so the subplan cache has shared two-atom prefixes to serve.
+func planWorkload(cat *relstore.Catalog) []*relstore.ConjunctiveQuery {
+	names := cat.RelationNames()
+	var queries []*relstore.ConjunctiveQuery
+	for i := 0; i+2 < len(names); i += 3 {
+		last := cat.Table(names[i+2])
+		sel := last.Rows[0][last.Relation.AttrIndex("acc")]
+		queries = append(queries, &relstore.ConjunctiveQuery{
+			Atoms: []relstore.Atom{
+				{Relation: names[i], Alias: "t0"},
+				{Relation: names[i+1], Alias: "t1"},
+				{Relation: names[i+2], Alias: "t2"},
+			},
+			Joins: []relstore.JoinCond{
+				{LeftAlias: "t0", LeftAttr: "name", RightAlias: "t1", RightAttr: "name"},
+				{LeftAlias: "t1", LeftAttr: "name", RightAlias: "t2", RightAttr: "name"},
+			},
+			Selects: []relstore.SelCond{{Alias: "t2", Attr: "acc", Op: relstore.OpEq, Value: sel}},
+			Project: []relstore.ProjCol{
+				{Alias: "t0", Attr: "acc", As: "acc"}, {Alias: "t2", Attr: "name", As: "name"}},
+		})
+	}
+	for i := 0; i+1 < len(names); i += 8 {
+		shape := func(proj []relstore.ProjCol) *relstore.ConjunctiveQuery {
+			return &relstore.ConjunctiveQuery{
+				Atoms: []relstore.Atom{{Relation: names[i], Alias: "t0"}, {Relation: names[i+1], Alias: "t1"}},
+				Joins: []relstore.JoinCond{{LeftAlias: "t0", LeftAttr: "name", RightAlias: "t1", RightAttr: "name"}},
+				Selects: []relstore.SelCond{
+					{Alias: "t0", Attr: "description", Op: relstore.OpContains, Value: "pro"}},
+				Project: proj,
+			}
+		}
+		queries = append(queries,
+			shape([]relstore.ProjCol{{Alias: "t0", Attr: "acc", As: "acc"}}),
+			shape([]relstore.ProjCol{{Alias: "t1", Attr: "acc", As: "acc"}}),
+			shape([]relstore.ProjCol{
+				{Alias: "t0", Attr: "name", As: "n0"}, {Alias: "t1", Attr: "name", As: "n1"}}),
+		)
+	}
+	return queries
+}

@@ -82,6 +82,14 @@ type Catalog struct {
 	// it before the catalog is shared with concurrent readers; Clone copies
 	// it.
 	matExec bool
+
+	// noPlan disables the cost-based join planner and the cross-branch
+	// subplan cache, routing every query through the naive first-connected
+	// join order — the unplanned executable spec the planner is verified
+	// against (planner_test.go). Inverted so the zero value keeps the
+	// planner ON. Writer-side: set it before the catalog is shared with
+	// concurrent readers; Clone copies it.
+	noPlan bool
 }
 
 // valueCache holds one shard's lazily built per-attribute distinct-value
@@ -120,6 +128,7 @@ func (c *Catalog) Clone() *Catalog {
 		par:      c.par,
 		scanFind: c.scanFind,
 		matExec:  c.matExec,
+		noPlan:   c.noPlan,
 	}
 }
 
@@ -134,6 +143,30 @@ func (c *Catalog) UseScanFindValues(scan bool) { c.scanFind = scan }
 // streaming path is verified against. Writer-side: call it before sharing
 // the catalog with concurrent readers.
 func (c *Catalog) UseMaterialisedExec(mat bool) { c.matExec = mat }
+
+// UsePlanner switches query execution between the cost-based join planner
+// with cross-branch common-subexpression elimination (the default — see
+// planner.go and plan.go) and the naive first-connected join order, which is
+// kept as the unplanned executable specification the planner is verified
+// against — the same pattern as UseScanFindValues and UseMaterialisedExec.
+// Join order and subplan reuse cannot change a byte of any result (outputs
+// are sorted and deduplicated under one total order); the knob trades
+// planning time against join work. Writer-side: call it before sharing the
+// catalog with concurrent readers.
+func (c *Catalog) UsePlanner(on bool) { c.noPlan = !on }
+
+// statsSegment returns the relation's value-index segment — the planner's
+// statistics source (per-attribute distinct-value entries with row counts) —
+// building it on first use, or nil for an unknown relation. Safe for
+// concurrent use (segmentFor resolves racing builds by adoption).
+func (c *Catalog) statsSegment(qualified string) *segment {
+	sh := c.shardFor(qualified)
+	t := sh.tables[qualified]
+	if t == nil {
+		return nil
+	}
+	return sh.index.segmentFor(t)
+}
 
 // AddTable registers a table. Registering a second table under the same
 // qualified relation name is an error: sources are immutable once added.

@@ -29,99 +29,61 @@ func Execute(c *Catalog, q *ConjunctiveQuery) (*ResultSet, error) {
 }
 
 // ExecuteMaterialised evaluates a conjunctive query by materialising every
-// intermediate relation in full: selection push-down, then one hash or
-// nested-loop join per atom, each producing a complete intermediate row set,
-// then projection with set-semantics dedup. It is kept as the executable
-// specification the streaming executor is verified against (the metamorphic
-// suite in stream_test.go and the FuzzExecuteEquivalence target), and as the
-// implementation behind UseMaterialisedExec — the same pattern as
-// ScanFindValues. It shares the length-prefixed row-identity encoding with
-// the streaming path, so join keys and dedup keys are collision-free for
-// values containing NUL bytes, embedded spaces or empty strings.
+// intermediate relation in full: selection and self-filter push-down, then
+// one hash or nested-loop join per atom, each producing a complete
+// intermediate row set, then projection with set-semantics dedup. It is kept
+// as the executable specification the streaming executor is verified against
+// (the metamorphic suite in stream_test.go and the FuzzExecuteEquivalence
+// target), and as the implementation behind UseMaterialisedExec — the same
+// pattern as ScanFindValues. It shares the length-prefixed row-identity
+// encoding with the streaming path, so join keys and dedup keys are
+// collision-free for values containing NUL bytes, embedded spaces or empty
+// strings. Join order follows the catalog's planner knob (see planner.go);
+// the hash build side is whichever input is smaller — neither choice can
+// change a byte of the sorted, deduplicated output.
 func ExecuteMaterialised(c *Catalog, q *ConjunctiveQuery) (*ResultSet, error) {
-	if err := q.Validate(c); err != nil {
+	p, err := planQuery(c, q)
+	if err != nil {
 		return nil, err
 	}
+	atoms := p.atoms
 
-	// Per-alias selection conditions for push-down.
-	selByAlias := make(map[string][]SelCond)
-	for _, s := range q.Selects {
-		selByAlias[s.Alias] = append(selByAlias[s.Alias], s)
-	}
-
-	// Load and filter each atom's rows. Attribute indexes are resolved once
-	// per condition, before the row loop, and a missing attribute is an
-	// error, not an index-out-of-range panic.
-	type boundAtom struct {
-		alias string
-		rel   *Relation
-		rows  [][]string
-	}
-	atoms := make([]boundAtom, len(q.Atoms))
-	for i, a := range q.Atoms {
-		t := c.Table(a.Relation)
-		rows := t.Rows
-		if sels := selByAlias[a.Alias]; len(sels) > 0 {
-			bound, err := bindSels(t.Relation, sels)
-			if err != nil {
-				return nil, err
-			}
-			var kept [][]string
-			for _, row := range rows {
-				if matchesBound(row, bound) {
-					kept = append(kept, row)
-				}
-			}
-			rows = kept
+	// Materialise each atom's filtered rows: pushed-down selections plus
+	// self-filter join conditions (t.a = t.b), which are per-row predicates
+	// on the atom itself. The old join-binding loop could never apply them —
+	// an alias's columns bind only after its own join step, so the colOf
+	// lookup failed and the condition was silently dropped.
+	filtered := make([][][]string, len(atoms))
+	for i, a := range atoms {
+		if len(a.sels) == 0 && len(a.selfs) == 0 {
+			filtered[i] = a.rows
+			continue
 		}
-		atoms[i] = boundAtom{alias: a.Alias, rel: t.Relation, rows: rows}
-	}
-
-	// Join order: traverse the join graph from atom 0, always joining the
-	// next atom connected to the already-joined set; fall back to cross
-	// product for disconnected components.
-	joined := map[string]bool{atoms[0].alias: true}
-	order := []int{0}
-	remaining := make(map[int]bool)
-	for i := 1; i < len(atoms); i++ {
-		remaining[i] = true
-	}
-	for len(remaining) > 0 {
-		next := -1
-		for i := range remaining {
-			if connectsTo(q.Joins, atoms[i].alias, joined) {
-				if next == -1 || i < next {
-					next = i
-				}
+		var kept [][]string
+		for _, row := range a.rows {
+			if rowAdmits(row, a.sels, a.selfs) {
+				kept = append(kept, row)
 			}
 		}
-		if next == -1 { // disconnected: take the lowest-index remaining atom
-			for i := range remaining {
-				if next == -1 || i < next {
-					next = i
-				}
-			}
-		}
-		order = append(order, next)
-		joined[atoms[next].alias] = true
-		delete(remaining, next)
+		filtered[i] = kept
 	}
 
 	// Incrementally build tuples. colOf maps alias.attr -> column index in
 	// the intermediate row.
 	colOf := make(map[string]int)
 	width := 0
-	bind := func(a boundAtom) {
+	bind := func(a planAtom) {
 		for _, attr := range a.rel.Attributes {
 			colOf[a.alias+"."+attr.Name] = width
 			width++
 		}
 	}
 
+	order := p.order
 	first := atoms[order[0]]
 	bind(first)
-	current := make([][]string, len(first.rows))
-	for i, r := range first.rows {
+	current := make([][]string, len(filtered[order[0]]))
+	for i, r := range filtered[order[0]] {
 		row := make([]string, len(r))
 		copy(row, r)
 		current[i] = row
@@ -129,11 +91,18 @@ func ExecuteMaterialised(c *Catalog, q *ConjunctiveQuery) (*ResultSet, error) {
 
 	for _, oi := range order[1:] {
 		a := atoms[oi]
+		rows := filtered[oi]
 		// Find join conditions between a and the already-bound aliases,
 		// split into equi-joins (hash) and similarity joins (filtered).
+		// Self-filters were already applied above; a condition whose other
+		// endpoint binds later in join order applies when THAT atom joins
+		// in (unknown aliases cannot reach here — Validate rejects them).
 		var pairs []joinPair
 		var simPairs []simJoinPair
 		for _, j := range q.Joins {
+			if j.LeftAlias == j.RightAlias {
+				continue
+			}
 			var lc, ri int
 			var ok bool
 			if j.LeftAlias == a.alias {
@@ -170,11 +139,12 @@ func ExecuteMaterialised(c *Catalog, q *ConjunctiveQuery) (*ResultSet, error) {
 		}
 
 		var next [][]string
-		if len(pairs) > 0 {
-			// Hash join on the concatenated equi-join values; similarity
-			// conditions filter the matches.
+		switch {
+		case len(pairs) > 0 && len(rows) <= len(current):
+			// Hash join, building on the atom's rows (the smaller input);
+			// similarity conditions filter the matches.
 			build := make(map[string][][]string)
-			for _, row := range a.rows {
+			for _, row := range rows {
 				key := joinKeyRight(row, pairs)
 				build[key] = append(build[key], row)
 			}
@@ -190,11 +160,33 @@ func ExecuteMaterialised(c *Catalog, q *ConjunctiveQuery) (*ResultSet, error) {
 					next = append(next, merged)
 				}
 			}
-		} else {
+		case len(pairs) > 0:
+			// The accumulated intermediate is the smaller input: build the
+			// hash on it instead and probe with the atom's rows. The merged
+			// column layout is unchanged (intermediate columns first), and
+			// the different match order washes out in the final sort+dedup.
+			build := make(map[string][][]string)
+			for _, cur := range current {
+				key := joinKeyLeft(cur, pairs)
+				build[key] = append(build[key], cur)
+			}
+			for _, row := range rows {
+				key := joinKeyRight(row, pairs)
+				for _, cur := range build[key] {
+					if !simOK(cur, row) {
+						continue
+					}
+					merged := make([]string, 0, len(cur)+len(row))
+					merged = append(merged, cur...)
+					merged = append(merged, row...)
+					next = append(next, merged)
+				}
+			}
+		default:
 			// Nested loop: a pure similarity join, or a cross product when
 			// no conditions connect the atom.
 			for _, cur := range current {
-				for _, row := range a.rows {
+				for _, row := range rows {
 					if !simOK(cur, row) {
 						continue
 					}

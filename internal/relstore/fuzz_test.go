@@ -73,6 +73,101 @@ func FuzzFindValuesEquivalence(f *testing.F) {
 // regression tests: the old fmt.Sprint dedup key and "\x00"-separator join
 // keys are exactly the kind of encoding this target finds. CI runs it as a
 // short -fuzz smoke on every push.
+// FuzzPlanEquivalence fuzzes the planner-equivalence contract: for ARBITRARY
+// row values, the cost-based join order (with its self-filter pushdown and
+// cross-branch subplan cache) must return exactly what the unplanned spec
+// order returns — standalone, through PlanBatch, and through the top-k union.
+// The query shapes cover what the planner actually decides: a reorderable
+// two-atom equi-join with a selective selection, a self-filter condition, and
+// a duplicated branch (the easiest shared subtree). CI runs it as a short
+// -fuzz smoke on every push.
+func FuzzPlanEquivalence(f *testing.F) {
+	f.Add("a\x00", "b", "a")
+	f.Add("a b", "c", "a")
+	f.Add("", " ", "")
+	f.Add("x", "\x00x", "x\x00")
+	f.Fuzz(func(t *testing.T, a, b, c string) {
+		lrel := &Relation{Source: "l", Name: "r", Attributes: []Attribute{{Name: "x"}, {Name: "y"}}}
+		lt, err := NewTable(lrel, [][]string{{a, b}, {b, c}, {c, c}, {a, a}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rrel := &Relation{Source: "r", Name: "r", Attributes: []Attribute{{Name: "x"}, {Name: "y"}}}
+		rt, err := NewTable(rrel, [][]string{{a, "\x00" + b}, {b, c}, {c + "\x00", c}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cat := NewCatalogSharded(2)
+		if err := cat.AddTable(lt); err != nil {
+			t.Fatal(err)
+		}
+		if err := cat.AddTable(rt); err != nil {
+			t.Fatal(err)
+		}
+		cat.BuildValueIndex(1)
+		off := cat.Clone()
+		off.UsePlanner(false)
+		join := &ConjunctiveQuery{
+			Atoms: []Atom{{Relation: "l.r", Alias: "t0"}, {Relation: "r.r", Alias: "t1"}},
+			Joins: []JoinCond{
+				{LeftAlias: "t0", LeftAttr: "x", RightAlias: "t1", RightAttr: "x"},
+				{LeftAlias: "t0", LeftAttr: "x", RightAlias: "t0", RightAttr: "y"}, // self-filter
+			},
+			Selects: []SelCond{{Alias: "t1", Attr: "y", Op: OpEq, Value: c}},
+			Project: []ProjCol{{Alias: "t0", Attr: "x", As: "v"}, {Alias: "t1", Attr: "y", As: "w"}},
+			Cost:    1,
+		}
+		sel := &ConjunctiveQuery{
+			Atoms:   []Atom{{Relation: "l.r", Alias: "t0"}},
+			Selects: []SelCond{{Alias: "t0", Attr: "x", Op: OpContains, Value: a}},
+			Project: []ProjCol{{Alias: "t0", Attr: "x", As: "v"}, {Alias: "t0", Attr: "y", As: "w"}},
+			Cost:    2,
+		}
+		dup := *join
+		queries := []*ConjunctiveQuery{join, sel, &dup}
+		prov := []string{"b0", "b1", "b2"}
+		bp, err := PlanBatch(cat, queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, q := range queries {
+			want, err := Execute(off, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Execute(cat, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("planner divergence on %q/%q/%q query %d\nplanned:   %v\nunplanned: %v",
+					a, b, c, i, got, want)
+			}
+			batched, err := bp.Execute(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(batched, want) {
+				t.Errorf("CSE divergence on %q/%q/%q query %d\nbatched:   %v\nunplanned: %v",
+					a, b, c, i, batched, want)
+			}
+		}
+		for _, k := range []int{1, 3, 50} {
+			want, _, err := ExecuteTopKUnion(off, queries, k, prov)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := ExecuteTopKUnion(cat, queries, k, prov)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("top-k planner divergence on %q/%q/%q k=%d", a, b, c, k)
+			}
+		}
+	})
+}
+
 func FuzzExecuteEquivalence(f *testing.F) {
 	f.Add("a\x00", "b", "a")
 	f.Add("a b", "c", "a")

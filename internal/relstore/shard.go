@@ -209,14 +209,33 @@ func (c *Catalog) OverlappingAttrPairs(a, b *Relation) map[[2]AttrRef]bool {
 // ExecuteBatch executes a batch of conjunctive queries — the branches of one
 // view materialisation — across at most workers goroutines, collecting
 // results by query index so the output order matches a serial loop exactly.
-// Each query runs through Execute's dispatch: the streaming iterator
-// pipeline by default (no intermediate relation is materialised per branch),
-// or the reference materialised executor under UseMaterialisedExec — results
-// are byte-identical either way, at every worker and shard count. Every
-// query executes at every worker count; the returned error is the one the
+// With the planner on (the default) the batch is planned as a unit: branches
+// stream through PlanBatch's shared-subtree subplan cache, so a join prefix
+// common to several branches executes once. Otherwise each query runs
+// through Execute's dispatch: the streaming iterator pipeline, or the
+// reference materialised executor under UseMaterialisedExec — results are
+// byte-identical on every path, at every worker and shard count. Every query
+// executes at every worker count; the returned error is the one the
 // lowest-indexed failing query produced, matching serial semantics. For the
 // top-k-bounded variant that can skip whole branches, see ExecuteTopKUnion.
 func ExecuteBatch(c *Catalog, queries []*ConjunctiveQuery, workers int) ([]*ResultSet, error) {
+	if !c.noPlan && !c.matExec {
+		bp, err := PlanBatch(c, queries)
+		if err != nil {
+			return nil, err
+		}
+		results := make([]*ResultSet, len(queries))
+		errs := make([]error, len(queries))
+		fanIndexed(len(queries), workers, func(i int) {
+			results[i], errs[i] = bp.Execute(i)
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return results, nil
+	}
 	results := make([]*ResultSet, len(queries))
 	errs := make([]error, len(queries))
 	fanIndexed(len(queries), workers, func(i int) {

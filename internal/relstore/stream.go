@@ -125,12 +125,14 @@ type rowIter interface {
 	Next() bool
 }
 
-// scanIter streams one atom's table with its pushed-down selections applied,
-// writing surviving rows into its buffer segment. It is the pipeline source:
-// no filtered copy of the table is ever materialised.
+// scanIter streams one atom's table with its pushed-down selections and
+// self-filters applied, writing surviving rows into its buffer segment. It
+// is the pipeline source: no filtered copy of the table is ever
+// materialised.
 type scanIter struct {
 	rows    [][]string
 	sels    []boundSel
+	selfs   []selfFilter
 	buf     []string // this atom's segment of the shared row buffer
 	pos     int
 	scanned *int64 // plan-wide count of base rows pulled
@@ -141,12 +143,32 @@ func (it *scanIter) Next() bool {
 		row := it.rows[it.pos]
 		it.pos++
 		*it.scanned++
-		if matchesBound(row, it.sels) {
+		if rowAdmits(row, it.sels, it.selfs) {
 			copy(it.buf, row)
 			return true
 		}
 	}
 	return false
+}
+
+// prefixIter is the pipeline source of a branch whose leading join prefix
+// was materialised by the subplan cache (plan.go): it replays the cached
+// full-width prefix rows into the shared buffer, in the same deterministic
+// order the branch's own prefix pipeline would have produced them, and the
+// remaining atoms join on top.
+type prefixIter struct {
+	rows [][]string
+	buf  []string // the prefix atoms' segments of the shared row buffer
+	pos  int
+}
+
+func (it *prefixIter) Next() bool {
+	if it.pos >= len(it.rows) {
+		return false
+	}
+	copy(it.buf, it.rows[it.pos])
+	it.pos++
+	return true
 }
 
 func matchesBound(row []string, sels []boundSel) bool {
@@ -186,9 +208,9 @@ type hashJoinBuild struct {
 }
 
 // newHashJoinBuild builds the chained hash table over the atom's filtered
-// rows. Selections are applied while building, so the probe side never sees
-// a row the push-down would have dropped.
-func newHashJoinBuild(rows [][]string, sels []boundSel, pairs []joinPair, scanned *int64) hashJoinBuild {
+// rows. Selections and self-filters are applied while building, so the probe
+// side never sees a row the push-down would have dropped.
+func newHashJoinBuild(rows [][]string, sels []boundSel, selfs []selfFilter, pairs []joinPair, scanned *int64) hashJoinBuild {
 	b := hashJoinBuild{
 		head: make(map[uint64]int32, len(rows)),
 		rows: make([][]string, 0, len(rows)),
@@ -196,7 +218,7 @@ func newHashJoinBuild(rows [][]string, sels []boundSel, pairs []joinPair, scanne
 	}
 	for _, row := range rows {
 		*scanned++
-		if !matchesBound(row, sels) {
+		if !rowAdmits(row, sels, selfs) {
 			continue
 		}
 		h := uint64(fnvOffset64)
@@ -391,67 +413,33 @@ func (s *Stream) Drain() *ResultSet {
 // BuildStream validates and compiles a conjunctive query into a streaming
 // pipeline over the catalog. All attribute resolution happens here, so a
 // malformed query is an error at plan time, never a panic mid-iteration.
+// Join order follows the catalog's planner knob: the cost-based greedy order
+// by default, the naive first-connected spec order under UsePlanner(false) —
+// byte-identical ResultSets either way.
 func BuildStream(c *Catalog, q *ConjunctiveQuery) (*Stream, error) {
-	if err := q.Validate(c); err != nil {
+	p, err := planQuery(c, q)
+	if err != nil {
 		return nil, err
 	}
+	return compileStream(p, nil)
+}
 
-	selByAlias := make(map[string][]SelCond)
-	for _, s := range q.Selects {
-		selByAlias[s.Alias] = append(selByAlias[s.Alias], s)
-	}
-
-	type boundAtom struct {
-		alias string
-		rel   *Relation
-		rows  [][]string
-		sels  []boundSel
-	}
-	atoms := make([]boundAtom, len(q.Atoms))
-	for i, a := range q.Atoms {
-		t := c.Table(a.Relation)
-		sels, err := bindSels(t.Relation, selByAlias[a.Alias])
-		if err != nil {
-			return nil, err
-		}
-		atoms[i] = boundAtom{alias: a.Alias, rel: t.Relation, rows: t.Rows, sels: sels}
-	}
-
-	// Join order: identical traversal to the materialised spec — connected
-	// atoms first (lowest index), cross product for disconnected components.
-	joined := map[string]bool{atoms[0].alias: true}
-	order := []int{0}
-	remaining := make(map[int]bool)
-	for i := 1; i < len(atoms); i++ {
-		remaining[i] = true
-	}
-	for len(remaining) > 0 {
-		next := -1
-		for i := range remaining {
-			if connectsTo(q.Joins, atoms[i].alias, joined) {
-				if next == -1 || i < next {
-					next = i
-				}
-			}
-		}
-		if next == -1 {
-			for i := range remaining {
-				if next == -1 || i < next {
-					next = i
-				}
-			}
-		}
-		order = append(order, next)
-		joined[atoms[next].alias] = true
-		delete(remaining, next)
-	}
-
-	// One shared row buffer spans every atom's columns in join order.
+// compilePipeline assembles the operator chain over the plan's first `upto`
+// atoms in join order: a selection-filtered scan of the first atom — or a
+// replay of cached prefix rows when pre is non-nil — then one hash-join or
+// nested-loop operator per remaining atom, all sharing one row buffer. A
+// join condition is applied when its later-ordered endpoint joins in;
+// conditions reaching atoms beyond `upto` are left for the continuation
+// (they bind nothing here), and self-filter conditions are pushed down into
+// the scans and build sides rather than bound as join pairs — binding them
+// as joins is impossible (the alias binds only after its own join step),
+// which is exactly how the old executors silently dropped them.
+func compilePipeline(p *queryPlan, upto int, pre *subplanEntry, stats *StreamStats) (rowIter, []string, map[string]int) {
 	colOf := make(map[string]int)
 	width := 0
-	segOf := make([]int, len(atoms)) // atom index -> buffer offset
-	for _, oi := range order {
-		a := atoms[oi]
+	segOf := make([]int, len(p.atoms)) // atom index -> buffer offset
+	for _, oi := range p.order[:upto] {
+		a := &p.atoms[oi]
 		segOf[oi] = width
 		for _, attr := range a.rel.Attributes {
 			colOf[a.alias+"."+attr.Name] = width
@@ -460,20 +448,34 @@ func BuildStream(c *Catalog, q *ConjunctiveQuery) (*Stream, error) {
 	}
 	buf := make([]string, width)
 
-	st := &Stream{buf: buf}
-	first := atoms[order[0]]
-	var root rowIter = &scanIter{
-		rows:    first.rows,
-		sels:    first.sels,
-		buf:     buf[:len(first.rel.Attributes)],
-		scanned: &st.stats.RowsScanned,
+	var root rowIter
+	start := 1
+	if pre != nil {
+		pw := 0
+		for _, oi := range p.order[:pre.n] {
+			pw += len(p.atoms[oi].rel.Attributes)
+		}
+		root = &prefixIter{rows: pre.rows, buf: buf[:pw]}
+		start = pre.n
+	} else {
+		first := &p.atoms[p.order[0]]
+		root = &scanIter{
+			rows:    first.rows,
+			sels:    first.sels,
+			selfs:   first.selfs,
+			buf:     buf[:len(first.rel.Attributes)],
+			scanned: &stats.RowsScanned,
+		}
 	}
 
-	for _, oi := range order[1:] {
-		a := atoms[oi]
+	for _, oi := range p.order[start:upto] {
+		a := &p.atoms[oi]
 		var pairs []joinPair
 		var simPairs []simJoinPair
-		for _, j := range q.Joins {
+		for _, j := range p.q.Joins {
+			if j.LeftAlias == j.RightAlias {
+				continue // self-filter: pushed down, never a join pair
+			}
 			var lc, ri int
 			var ok bool
 			if j.LeftAlias == a.alias {
@@ -485,8 +487,8 @@ func BuildStream(c *Catalog, q *ConjunctiveQuery) (*Stream, error) {
 			} else {
 				continue
 			}
-			// The other endpoint is bound later in join order: the condition
-			// applies when THAT atom joins in.
+			// The other endpoint is bound later in join order (or beyond this
+			// prefix): the condition applies when THAT atom joins in.
 			if !ok || lc >= segOf[oi] {
 				continue
 			}
@@ -503,7 +505,7 @@ func BuildStream(c *Catalog, q *ConjunctiveQuery) (*Stream, error) {
 		if len(pairs) > 0 {
 			root = &hashJoinIter{
 				left:     root,
-				build:    newHashJoinBuild(a.rows, a.sels, pairs, &st.stats.RowsScanned),
+				build:    newHashJoinBuild(a.rows, a.sels, a.selfs, pairs, &stats.RowsScanned),
 				pairs:    pairs,
 				simPairs: simPairs,
 				buf:      buf,
@@ -512,8 +514,8 @@ func BuildStream(c *Catalog, q *ConjunctiveQuery) (*Stream, error) {
 		} else {
 			var kept [][]string
 			for _, row := range a.rows {
-				st.stats.RowsScanned++
-				if matchesBound(row, a.sels) {
+				stats.RowsScanned++
+				if rowAdmits(row, a.sels, a.selfs) {
 					kept = append(kept, row)
 				}
 			}
@@ -526,22 +528,47 @@ func BuildStream(c *Catalog, q *ConjunctiveQuery) (*Stream, error) {
 			}
 		}
 	}
+	return root, buf, colOf
+}
 
-	cols := make([]string, len(q.Project))
-	proj := make([]int, len(q.Project))
-	for i, p := range q.Project {
-		cols[i] = p.As
-		ci, ok := colOf[p.Alias+"."+p.Attr]
+// compileStream wraps the plan's full pipeline in a Stream with projection
+// and set-semantics dedup. pre, when non-nil, sources the plan's leading
+// join prefix from the subplan cache instead of re-executing it.
+func compileStream(p *queryPlan, pre *subplanEntry) (*Stream, error) {
+	st := &Stream{}
+	root, buf, colOf := compilePipeline(p, len(p.atoms), pre, &st.stats)
+	cols := make([]string, len(p.q.Project))
+	proj := make([]int, len(p.q.Project))
+	for i, pc := range p.q.Project {
+		cols[i] = pc.As
+		ci, ok := colOf[pc.Alias+"."+pc.Attr]
 		if !ok {
-			return nil, fmt.Errorf("relstore: projection %s.%s not bound", p.Alias, p.Attr)
+			return nil, fmt.Errorf("relstore: projection %s.%s not bound", pc.Alias, pc.Attr)
 		}
 		proj[i] = ci
 	}
+	st.buf = buf
 	st.cols = cols
 	st.root = root
 	st.proj = proj
 	st.seen = make(map[uint64]int32)
 	return st, nil
+}
+
+// drainPrefix executes the plan's first n atoms as a standalone pipeline and
+// materialises the joined full-width rows, in pipeline order — the subplan
+// cache's compute step. The returned stats carry the prefix's scan work; it
+// is charged to the branch that triggered the computation.
+func drainPrefix(p *queryPlan, n int) ([][]string, StreamStats) {
+	var stats StreamStats
+	root, buf, _ := compilePipeline(p, n, nil, &stats)
+	var rows [][]string
+	for root.Next() {
+		row := make([]string, len(buf))
+		copy(row, buf)
+		rows = append(rows, row)
+	}
+	return rows, stats
 }
 
 // ExecuteStream evaluates a conjunctive query through the streaming iterator
@@ -571,6 +598,9 @@ type TopKUnionStats struct {
 	RowsScanned int64
 	RowsPulled  int64
 	RowsEmitted int64
+	// Plan carries the batch's planner counters (join reordering, shared
+	// subtrees, CSE hits) when the catalog's planner is on; zero otherwise.
+	Plan PlanStats
 }
 
 // ExecuteTopKUnion executes a view's branch queries — in the caller's order,
@@ -589,6 +619,27 @@ type TopKUnionStats struct {
 // records on a full materialisation.
 func ExecuteTopKUnion(c *Catalog, queries []*ConjunctiveQuery, k int, provenance []string) (*UnionResult, TopKUnionStats, error) {
 	var stats TopKUnionStats
+	// Every branch is validated up front — including branches the top-k
+	// bound will skip. The spec this path must match byte-for-byte is
+	// DisjointUnion(execute ALL branches).TopK(k), where a malformed branch
+	// fails the whole call; skipping used to let it silently succeed. With
+	// the planner on, PlanBatch does the validating (index order, first
+	// error wins — identical semantics) and provides the shared-subtree
+	// subplan cache the executed branches stream from.
+	var bp *BatchPlan
+	if !c.noPlan {
+		var err error
+		bp, err = PlanBatch(c, queries)
+		if err != nil {
+			return nil, stats, err
+		}
+	} else {
+		for _, q := range queries {
+			if err := q.Validate(c); err != nil {
+				return nil, stats, err
+			}
+		}
+	}
 	out := &UnionResult{}
 	colIdx := make(map[string]int)
 	for _, q := range queries {
@@ -618,7 +669,13 @@ func ExecuteTopKUnion(c *Catalog, queries []*ConjunctiveQuery, k int, provenance
 			stats.BranchesSkipped++
 			continue
 		}
-		st, err := BuildStream(c, q)
+		var st *Stream
+		var err error
+		if bp != nil {
+			st, err = bp.Stream(bi)
+		} else {
+			st, err = BuildStream(c, q)
+		}
 		if err != nil {
 			return nil, stats, err
 		}
@@ -664,5 +721,8 @@ func ExecuteTopKUnion(c *Catalog, queries []*ConjunctiveQuery, k int, provenance
 		rows = rows[:k]
 	}
 	out.Rows = rows
+	if bp != nil {
+		stats.Plan = bp.Stats()
+	}
 	return out, stats, nil
 }

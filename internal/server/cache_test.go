@@ -100,6 +100,9 @@ func TestStatsReportsCacheCounters(t *testing.T) {
 	if stats.Epoch == 0 {
 		t.Error("stats epoch = 0, want the published generation")
 	}
+	if stats.Plan.BranchesPlanned < 1 {
+		t.Errorf("plan branches_planned = %d, want >= 1 (planner on by default)", stats.Plan.BranchesPlanned)
+	}
 }
 
 // TestStatsCacheDisabled pins the disabled shape: a Q built with

@@ -388,7 +388,10 @@ func (s *Server) handleAssociations(w http.ResponseWriter, r *http.Request) {
 // StatsResponse summarises the running instance. Epoch is the currently
 // published state generation; Cache carries the serving-layer query-cache
 // counters (hits, misses, computes, coalesced, evictions, entries, live
-// epochs — per cache).
+// epochs — per cache); Plan carries the cost-based join planner's
+// accumulated counters (branches planned and reordered, shared join
+// subtrees, subplans materialised, cross-branch CSE hits — all zero with
+// Options.PlannerOff).
 type StatsResponse struct {
 	Relations  int             `json:"relations"`
 	Attributes int             `json:"attributes"`
@@ -398,6 +401,7 @@ type StatsResponse struct {
 	Views      int             `json:"views"`
 	Epoch      uint64          `json:"epoch"`
 	Cache      core.CacheStats `json:"cache"`
+	Plan       core.PlanStats  `json:"plan"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -423,6 +427,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Views: nViews,
 		Epoch: s.q.Epoch(),
 		Cache: s.q.CacheStats(),
+		Plan:  s.q.PlanStats(),
 	}
 	for k, n := range sum.ByEdgeKind {
 		resp.Edges[k.String()] = n

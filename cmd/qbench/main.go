@@ -3,7 +3,7 @@
 // reports. Use -exp to run a single experiment.
 //
 //	qbench            # run everything
-//	qbench -exp fig7  # one of: table1 fig6 fig7 fig8 fig10 fig11 fig12 table2 ablation propagation parallel snapshot valueindex shard cache stream plan
+//	qbench -exp fig7  # one of: table1 fig6 fig7 fig8 fig10 fig11 fig12 table2 ablation propagation parallel snapshot valueindex shard cache stream plan load
 package main
 
 import (
@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig6, fig7, fig8, table1, fig10, fig11, fig12, table2, ablation, parallel, snapshot, valueindex, shard, cache, stream, plan")
+	exp := flag.String("exp", "all", "experiment to run: all, fig6, fig7, fig8, table1, fig10, fig11, fig12, table2, ablation, parallel, snapshot, valueindex, shard, cache, stream, plan, load")
 	flag.Parse()
 
 	runners := []struct {
@@ -48,6 +48,7 @@ func main() {
 		{"cache", cache},
 		{"stream", stream},
 		{"plan", plan},
+		{"load", load},
 	}
 	ran := false
 	for _, r := range runners {
@@ -347,6 +348,28 @@ func plan() error {
 		}
 		fmt.Printf("%-11s %-9d %12v %9.1fMB %10s %8s %9s %9s\n",
 			r.Mode, r.Branches, r.ExecTime, float64(r.AllocBytes)/(1<<20), reordered, shared, computed, hits)
+	}
+	return nil
+}
+
+// load drives the admission-controlled serving path open-loop at nominal
+// and overload rates against an in-process server — the standalone
+// counterpart of cmd/qload against a live qserver. The overload row's shed
+// count is the admission layer doing its job; a 5xx fails the run.
+func load() error {
+	rows, err := eval.RunLoad()
+	if err != nil {
+		return err
+	}
+	header(fmt.Sprintf("Serving-path load: open-loop Zipfian GBCO stream vs admission control (GOMAXPROCS=%d)",
+		runtime.GOMAXPROCS(0)))
+	fmt.Printf("%-10s %10s %12s %8s %8s %8s %10s %10s %10s %7s\n",
+		"Scenario", "Target", "Achieved", "Served", "Shed", "Errors", "p50", "p99", "p999", "Epochs")
+	for _, r := range rows {
+		fmt.Printf("%-10s %10.0f %12.1f %8d %8d %8d %10v %10v %10v %7d\n",
+			r.Scenario, r.TargetQPS, r.AchievedQPS, r.Served, r.Shed, r.Errors,
+			r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond),
+			r.P999.Round(time.Microsecond), r.Epochs)
 	}
 	return nil
 }

@@ -16,6 +16,15 @@
 // Every registration and feedback update is fsync'd to the WAL before its
 // result is visible to queries; SIGINT/SIGTERM triggers a clean shutdown
 // with a final checkpoint.
+//
+// Serving limits (see the internal/server package comment for the full
+// 429/503 contract): -max-inflight bounds concurrent query executions,
+// -write-queue bounds queued writes, -max-parallel caps the ?parallel=
+// knob, -max-views caps the persistent view registry, and -max-body caps
+// POST bodies (413 beyond it). The http.Server itself runs with
+// read-header/read/write/idle timeouts so a slow or stalled client cannot
+// wedge the accept loop. cmd/qload drives this server at a target QPS and
+// reports latency percentiles against these limits.
 package main
 
 import (
@@ -40,6 +49,11 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	dataset := flag.String("dataset", "interprogo", "initial corpus: interprogo, gbco or empty")
 	dataDir := flag.String("data", "", "durable storage directory (empty = in-memory)")
+	maxInflight := flag.Int("max-inflight", 0, "concurrent query admissions before 429 (0 = 4x GOMAXPROCS, min 16)")
+	writeQueue := flag.Int("write-queue", 0, "queued-or-running writes before 503 (0 = 8)")
+	maxParallel := flag.Int("max-parallel", 0, "?parallel= ceiling (0 = GOMAXPROCS)")
+	maxViews := flag.Int("max-views", 0, "persistent view registry cap (0 = 10000)")
+	maxBody := flag.Int64("max-body", 0, "POST body byte cap before 413 (0 = 8 MiB)")
 	flag.Parse()
 
 	opts := core.DefaultOptions()
@@ -87,7 +101,24 @@ func main() {
 		}
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: server.New(q)}
+	handler := server.NewWith(q, server.Config{
+		MaxInFlightQueries: *maxInflight,
+		WriteQueueDepth:    *writeQueue,
+		MaxParallel:        *maxParallel,
+		MaxViews:           *maxViews,
+		MaxBodyBytes:       *maxBody,
+	})
+	// Hardened listener: a slow or stalled client gets a bounded slice of
+	// the accept loop instead of wedging it. Request bodies are separately
+	// capped by the handler's MaxBytesReader (-max-body).
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)

@@ -275,4 +275,47 @@
 // run their own epoch-keyed caches on the same no-invalidation contract —
 // identical queries at the same epoch are byte-identical, and a higher
 // epoch signals a published write. GET /stats reports the cache counters.
+//
+// # Serving limits and load measurement
+//
+// The server bounds its own resource usage instead of letting traffic
+// size it (server.Config; every knob is a qserver flag):
+//
+//   - POST /query admissions are capped at MaxInFlightQueries; over-limit
+//     queries are shed immediately with 429 + Retry-After, before any
+//     engine work, so overload cannot pile up goroutines behind the
+//     executor. 429 means "the same request is fine, offered load is too
+//     high right now" — back off and retry.
+//   - Writes (POST /sources, feedback) pass a bounded admission queue of
+//     depth WriteQueueDepth; beyond it they are shed with 503 +
+//     Retry-After. 503 (not 429) because writes are not idempotent:
+//     whether to re-submit is the client's decision once the queue
+//     drains.
+//   - ?parallel= is clamped to MaxParallel (default GOMAXPROCS), with
+//     absurd values rejected (400); POST bodies beyond MaxBodyBytes get
+//     413 via http.MaxBytesReader; cmd/qserver runs its http.Server with
+//     read-header/read/write/idle timeouts so slow clients cannot wedge
+//     the accept loop.
+//   - POST /query?ephemeral=1 computes answers without registering a view
+//     anywhere (engine or server registry), and DELETE /views/{id} drops
+//     a registered one; the registry itself is capped at MaxViews (429 at
+//     the cap). A query storm can no longer grow server memory without
+//     bound — the old POST /query leaked one permanent view per request.
+//   - Feedback naming a row the view's current materialisation does not
+//     have gets 409 Conflict, not 400: every weight update rematerialises
+//     every view, so a row index read moments ago can be stale through no
+//     fault of the client's. Re-read the view (the 409 carries the
+//     current X-Q-Epoch) and resubmit.
+//
+// Shed/served/in-flight/queue-depth counters are served under "serving"
+// on GET /stats. cmd/qload (internal/loadgen) is the open-loop load
+// harness for this contract: it fires a Zipfian keyword stream (plus an
+// optional registration/feedback write mix) at a target QPS, measures
+// latency from each request's SCHEDULED send time into an
+// HdrHistogram-style log-linear histogram — so a stalled server is
+// charged for its backlog instead of quietly slowing the client
+// (coordinated omission) — and reports p50/p99/p999, achieved QPS, shed
+// and error counts, and X-Q-Epoch churn as a table plus BENCH_qload.json,
+// the per-PR perf-trajectory artifact CI uploads (qbench -exp load is the
+// in-process counterpart).
 package qint

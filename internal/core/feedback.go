@@ -1,12 +1,21 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"qint/internal/learning"
 	"qint/internal/searchgraph"
 	"qint/internal/steiner"
 )
+
+// ErrRowOutOfRange reports feedback naming a row the view's CURRENT
+// materialisation does not have. This is not always a malformed request:
+// a concurrent weight update rematerialises every view, so the index a
+// client read moments ago can go stale — even a previously non-empty view
+// can re-rank to fewer rows. Callers should re-read the view and resubmit
+// against what it shows now (the HTTP layer maps this to 409 Conflict).
+var ErrRowOutOfRange = errors.New("core: feedback row out of range")
 
 // minLearnableCost is the floor Algorithm 4's positivity constraint aims
 // for: after every update the cheapest learnable edge costs at least this.
@@ -42,7 +51,11 @@ func (q *Q) FeedbackRow(v *View, rowIdx int, kind FeedbackKind) error {
 	defer q.writerMu.Unlock()
 	mat := v.mat.Load()
 	if mat == nil || mat.result == nil || rowIdx < 0 || rowIdx >= len(mat.result.Rows) {
-		return fmt.Errorf("core: feedback row %d out of range", rowIdx)
+		rows := 0
+		if mat != nil && mat.result != nil {
+			rows = len(mat.result.Rows)
+		}
+		return fmt.Errorf("%w: row %d, view currently has %d rows", ErrRowOutOfRange, rowIdx, rows)
 	}
 	branch := mat.result.Rows[rowIdx].Branch
 	// Branch indexes mat.queries; recover the producing tree by matching

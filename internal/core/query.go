@@ -196,6 +196,30 @@ func (q *Q) QueryWith(query string, parallelism int) (*View, error) {
 	return q.queryKeywords(keywords, 0, parallelism)
 }
 
+// QueryEphemeralWith is QueryWith for answers-only traffic: it computes
+// the view materialisation (through the same epoch-keyed cache, so a hot
+// keyword stream is still near-free) but does NOT register the view in the
+// maintenance set. The returned View carries its answers, yet it never
+// participates in refreshes or VIEWBASEDALIGNER neighbourhoods and holds
+// no reference from Q — a storm of ephemeral queries leaves the engine's
+// footprint bounded by the materialisation cache's LRU capacity. This is
+// the serving path for load drivers and stateless read traffic
+// (POST /query?ephemeral=1 in internal/server).
+func (q *Q) QueryEphemeralWith(query string, parallelism int) (*View, error) {
+	keywords := parseKeywords(query)
+	if len(keywords) == 0 {
+		return nil, fmt.Errorf("core: empty keyword query %q", query)
+	}
+	st := q.state()
+	mat, err := q.materializeCached(st, keywords, q.opts.K, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	v := &View{Keywords: keywords, K: q.opts.K}
+	v.mat.Store(mat)
+	return v, nil
+}
+
 // QueryKeywords runs a keyword query from an already-split keyword list,
 // bypassing the quote-aware string parser entirely — keywords containing
 // quotes, spaces, or any other byte sequence (even ones parseKeywords could

@@ -70,12 +70,41 @@ func TestHammerMixedLoad(t *testing.T) {
 				created = append(created, va.ID)
 				mu.Unlock()
 				if len(va.Rows) > 0 {
-					fb := postJSON(t, ts.URL+"/views/"+va.ID+"/feedback",
-						FeedbackRequest{Row: 0, Kind: "valid"})
-					fb.Body.Close()
-					if fb.StatusCode != http.StatusOK {
-						errc <- fmt.Errorf("writer %d: feedback on %s: status %d", w, va.ID, fb.StatusCode)
-						return
+					// A concurrent writer's feedback rematerialises every
+					// view, so our row index can go stale between reading
+					// the rows and posting — the server answers 409 and we
+					// re-read and retry, like a real client. Any other
+					// non-OK status is a failure.
+					for attempt := 0; ; attempt++ {
+						fb := postJSON(t, ts.URL+"/views/"+va.ID+"/feedback",
+							FeedbackRequest{Row: 0, Kind: "valid"})
+						io.Copy(io.Discard, fb.Body)
+						fb.Body.Close()
+						if fb.StatusCode == http.StatusOK {
+							break
+						}
+						if fb.StatusCode != http.StatusConflict || attempt >= 5 {
+							errc <- fmt.Errorf("writer %d: feedback on %s: status %d (attempt %d)",
+								w, va.ID, fb.StatusCode, attempt)
+							return
+						}
+						cur, err := http.Get(ts.URL + "/views/" + va.ID)
+						if err != nil {
+							errc <- fmt.Errorf("writer %d: re-read %s: %v", w, va.ID, err)
+							return
+						}
+						var now ViewAnswers
+						if err := json.NewDecoder(cur.Body).Decode(&now); err != nil {
+							cur.Body.Close()
+							errc <- fmt.Errorf("writer %d: re-read %s: decode: %v", w, va.ID, err)
+							return
+						}
+						cur.Body.Close()
+						if len(now.Rows) == 0 {
+							// Re-ranked to an empty view: nothing left to
+							// mark valid. The conflict answer was correct.
+							break
+						}
 					}
 				}
 			}

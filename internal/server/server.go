@@ -7,13 +7,49 @@
 //
 // Endpoints (all JSON):
 //
-//	POST /sources            register a new source           (RegisterRequest)
-//	POST /query              create a persistent view        (QueryRequest)
-//	GET  /views              list views
-//	GET  /views/{id}         one view's ranked answers
-//	POST /views/{id}/feedback  mark an answer valid/invalid  (FeedbackRequest)
-//	GET  /associations       association edges with costs
-//	GET  /stats              catalog, graph and query-cache statistics
+//	POST   /sources            register a new source           (RegisterRequest)
+//	POST   /query              create a persistent view        (QueryRequest)
+//	POST   /query?ephemeral=1  answers only — no view is registered
+//	GET    /views              list views
+//	GET    /views/{id}         one view's ranked answers
+//	DELETE /views/{id}         drop a view from the registry
+//	POST   /views/{id}/feedback  mark an answer valid/invalid  (FeedbackRequest)
+//	GET    /associations       association edges with costs
+//	GET    /stats              catalog, graph, query-cache and serving statistics
+//
+// # Serving limits (admission control)
+//
+// The server bounds its own resource usage under load instead of letting
+// each request size it (Config; every knob has a qserver flag):
+//
+//   - At most Config.MaxInFlightQueries POST /query requests execute at
+//     once. Over-limit queries are shed immediately with 429 Too Many
+//     Requests + a Retry-After header — they never start engine work, so
+//     an overload cannot pile up goroutines behind the executor.
+//   - Writes (POST /sources, POST /views/{id}/feedback) pass a bounded
+//     admission queue of depth Config.WriteQueueDepth: admitted writes
+//     serialise inside Q on its writer mutex, and once the queue is full
+//     further writes are shed with 503 Service Unavailable + Retry-After
+//     (backpressure — the client should slow down, the work is durable so
+//     429 "try the same request again" semantics would be wrong for
+//     non-idempotent registrations).
+//   - ?parallel= is clamped to Config.MaxParallel (default GOMAXPROCS);
+//     values beyond an absurdity threshold are rejected with 400 so one
+//     request can never size its own goroutine explosion.
+//   - The view registry holds at most Config.MaxViews persistent views;
+//     at the cap, non-ephemeral POST /query gets 429 until DELETE
+//     /views/{id} (or ?ephemeral=1) is used. Ephemeral queries never
+//     touch the registry.
+//   - POST bodies are capped at Config.MaxBodyBytes via
+//     http.MaxBytesReader; oversized bodies get 413.
+//   - Feedback naming a row the view's current materialisation does not
+//     have gets 409 Conflict (not 400): a concurrent weight update can
+//     rematerialise the view between the client reading its rows and
+//     posting feedback, so the index may simply be stale — re-read the
+//     view (the response carries the current X-Q-Epoch) and resubmit.
+//
+// Shed/served/in-flight/queue-depth counters are served under "serving"
+// on GET /stats.
 //
 // Answer-carrying responses (POST /query, GET /views/{id}, and the
 // feedback echo) include an X-Q-Epoch header: the immutable published
@@ -45,8 +81,11 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -56,15 +95,75 @@ import (
 	"qint/internal/relstore"
 )
 
+// maxParallelAbsurd is the ?parallel= rejection threshold: values at or
+// below it are silently clamped to Config.MaxParallel, values above it are
+// a client bug (or an attack) and get 400.
+const maxParallelAbsurd = 4096
+
+// Config bounds the server's resource usage under load. The zero value of
+// any field selects its default; see the package comment for the shedding
+// contract each limit enforces.
+type Config struct {
+	// MaxInFlightQueries caps concurrent POST /query executions; further
+	// queries are shed with 429 + Retry-After. Default 4×GOMAXPROCS with
+	// a floor of 16 (queries block on I/O too — the limit exists to stop
+	// unbounded pile-up, not to pin one request per core).
+	MaxInFlightQueries int
+	// WriteQueueDepth caps queued-or-running writes (POST /sources,
+	// feedback); further writes are shed with 503 + Retry-After.
+	// Default 8.
+	WriteQueueDepth int
+	// MaxParallel is the ceiling a ?parallel= request can ask for; higher
+	// values (up to maxParallelAbsurd) are clamped. Default GOMAXPROCS.
+	MaxParallel int
+	// MaxViews caps the persistent view registry; at the cap,
+	// non-ephemeral POST /query gets 429. Default 10000.
+	MaxViews int
+	// MaxBodyBytes caps POST request bodies (413 beyond it).
+	// Default 8 MiB.
+	MaxBodyBytes int64
+}
+
+// withDefaults resolves zero fields to their documented defaults.
+func (c Config) withDefaults() Config {
+	if c.MaxInFlightQueries <= 0 {
+		c.MaxInFlightQueries = max(16, 4*runtime.GOMAXPROCS(0))
+	}
+	if c.WriteQueueDepth <= 0 {
+		c.WriteQueueDepth = 8
+	}
+	if c.MaxParallel <= 0 {
+		c.MaxParallel = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxViews <= 0 {
+		c.MaxViews = 10000
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	return c
+}
+
 // viewEntry binds a persistent view to its stable wire ID.
 type viewEntry struct {
 	id   string
 	view *core.View
 }
 
+// servingCounters are the admission-control observables served on /stats.
+type servingCounters struct {
+	servedQueries    atomic.Int64 // queries admitted and executed
+	ephemeralQueries atomic.Int64 // subset of served that skipped the registry
+	shedQueries      atomic.Int64 // 429s from the in-flight limit or view cap
+	shedWrites       atomic.Int64 // 503s from the write queue
+	viewsDeleted     atomic.Int64 // DELETE /views/{id} successes
+}
+
 // Server wraps a Q instance and implements http.Handler. Its mutex guards
 // only the id↔view registry: Q itself is snapshot-based (queries are
-// lock-free reads, writers serialise internally).
+// lock-free reads, writers serialise internally). Admission control
+// (queryTokens/writeTokens) sits in front of the handlers — a request that
+// cannot take a token is answered and gone before it touches the engine.
 type Server struct {
 	mu     sync.RWMutex // guards views and byID only
 	q      *core.Q
@@ -72,14 +171,36 @@ type Server struct {
 	byID   map[string]*core.View // stable id -> view
 	nextID atomic.Int64
 	mux    *http.ServeMux
+
+	cfg         Config
+	queryTokens chan struct{} // in-flight query admissions
+	writeTokens chan struct{} // queued-or-running write admissions
+	counters    servingCounters
+
+	// queryBarrier, when non-nil, is invoked while an admitted query holds
+	// its token and before engine work starts. Tests use it to park
+	// admitted queries in flight deterministically.
+	queryBarrier func()
 }
 
-// New wraps q. The caller should have registered matchers and initial
-// tables already. Views the instance already holds (e.g. restored from a
-// durable snapshot by core.Open) are seeded into the id registry in
-// creation order, so they are addressable over HTTP after a restart.
-func New(q *core.Q) *Server {
-	s := &Server{q: q, byID: make(map[string]*core.View)}
+// New wraps q with default serving limits. The caller should have
+// registered matchers and initial tables already. Views the instance
+// already holds (e.g. restored from a durable snapshot by core.Open) are
+// seeded into the id registry in creation order, so they are addressable
+// over HTTP after a restart.
+func New(q *core.Q) *Server { return NewWith(q, Config{}) }
+
+// NewWith wraps q with explicit serving limits (zero fields take their
+// defaults).
+func NewWith(q *core.Q, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		q:           q,
+		byID:        make(map[string]*core.View),
+		cfg:         cfg,
+		queryTokens: make(chan struct{}, cfg.MaxInFlightQueries),
+		writeTokens: make(chan struct{}, cfg.WriteQueueDepth),
+	}
 	for _, v := range q.Views() {
 		id := fmt.Sprintf("v%d", s.nextID.Add(1)-1)
 		s.views = append(s.views, viewEntry{id: id, view: v})
@@ -94,6 +215,29 @@ func New(q *core.Q) *Server {
 	mux.HandleFunc("/stats", s.handleStats)
 	s.mux = mux
 	return s
+}
+
+// admitWrite takes one write-queue slot without blocking. The returned
+// release must be called when the write finishes; ok=false means the queue
+// is full and the caller should shed.
+func (s *Server) admitWrite() (release func(), ok bool) {
+	select {
+	case s.writeTokens <- struct{}{}:
+		return func() { <-s.writeTokens }, true
+	default:
+		return nil, false
+	}
+}
+
+// shedWrite answers a write that found the admission queue full: 503 +
+// Retry-After, counted. 503 (not 429) because the correct client reaction
+// is backoff, and retrying a non-idempotent registration verbatim is the
+// client's call to make once the queue drains.
+func (s *Server) shedWrite(w http.ResponseWriter) {
+	s.counters.shedWrites.Add(1)
+	w.Header().Set("Retry-After", "1")
+	httpError(w, http.StatusServiceUnavailable,
+		"write queue full (depth %d); retry after backoff", s.cfg.WriteQueueDepth)
 }
 
 // ServeHTTP implements http.Handler.
@@ -162,8 +306,20 @@ func (s *Server) handleSources(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	release, ok := s.admitWrite()
+	if !ok {
+		s.shedWrite(w)
+		return
+	}
+	defer release()
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var req RegisterRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		if isBodyTooLarge(err) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", s.cfg.MaxBodyBytes)
+			return
+		}
 		httpError(w, http.StatusBadRequest, "bad json: %v", err)
 		return
 	}
@@ -224,6 +380,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	// Admission: take an in-flight slot or shed NOW, before any engine
+	// work — an overload turns into fast 429s, not a goroutine pile-up.
+	select {
+	case s.queryTokens <- struct{}{}:
+		defer func() { <-s.queryTokens }()
+	default:
+		s.counters.shedQueries.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests,
+			"query admission limit reached (%d in flight); retry after backoff",
+			s.cfg.MaxInFlightQueries)
+		return
+	}
+	if s.queryBarrier != nil {
+		s.queryBarrier()
+	}
 	parallel := 0
 	if p := r.URL.Query().Get("parallel"); p != "" {
 		n, err := strconv.Atoi(p)
@@ -231,16 +403,55 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, "parallel must be a positive integer")
 			return
 		}
+		if n > maxParallelAbsurd {
+			httpError(w, http.StatusBadRequest,
+				"parallel=%d exceeds the absurdity threshold %d", n, maxParallelAbsurd)
+			return
+		}
+		// Clamp, don't reject: the answers are byte-identical at any
+		// setting, the ceiling only bounds this request's fan-out.
+		if n > s.cfg.MaxParallel {
+			n = s.cfg.MaxParallel
+		}
 		parallel = n
 	}
+	ephemeral := isTruthy(r.URL.Query().Get("ephemeral"))
+	if !ephemeral && s.viewCount() >= s.cfg.MaxViews {
+		// Cheap pre-check so a query storm at the cap sheds before doing
+		// engine work; the append below re-checks authoritatively.
+		s.shedViewCap(w)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var req QueryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		if isBodyTooLarge(err) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", s.cfg.MaxBodyBytes)
+			return
+		}
 		httpError(w, http.StatusBadRequest, "bad json: %v", err)
 		return
 	}
 	// The query itself is a lock-free read of Q's published snapshot; only
 	// the registry append below takes the server mutex, briefly. Repeated
 	// queries answer from the engine's epoch-keyed materialisation cache.
+	if ephemeral {
+		// Answers only: the view is never registered — in the engine or
+		// in the server's id registry — so ephemeral traffic cannot grow
+		// either without bound.
+		v, err := s.q.QueryEphemeralWith(req.Q, parallel)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		s.counters.servedQueries.Add(1)
+		s.counters.ephemeralQueries.Add(1)
+		m := v.Current()
+		setEpochHeader(w, m)
+		writeJSON(w, http.StatusOK, answersOfMat("", v, m))
+		return
+	}
 	v, err := s.q.QueryWith(req.Q, parallel)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
@@ -248,12 +459,52 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	id := fmt.Sprintf("v%d", s.nextID.Add(1)-1)
 	s.mu.Lock()
+	if len(s.views) >= s.cfg.MaxViews {
+		s.mu.Unlock()
+		// The engine-side view must not outlive the shed response.
+		s.q.DropView(v)
+		s.shedViewCap(w)
+		return
+	}
 	s.views = append(s.views, viewEntry{id: id, view: v})
 	s.byID[id] = v
 	s.mu.Unlock()
+	s.counters.servedQueries.Add(1)
 	m := v.Current()
 	setEpochHeader(w, m)
 	writeJSON(w, http.StatusCreated, answersOfMat(id, v, m))
+}
+
+// viewCount reads the registry size.
+func (s *Server) viewCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.views)
+}
+
+// shedViewCap answers a non-ephemeral query that hit the MaxViews cap.
+func (s *Server) shedViewCap(w http.ResponseWriter) {
+	s.counters.shedQueries.Add(1)
+	w.Header().Set("Retry-After", "1")
+	httpError(w, http.StatusTooManyRequests,
+		"view registry full (max %d); use ?ephemeral=1 or DELETE /views/{id}",
+		s.cfg.MaxViews)
+}
+
+// isTruthy parses boolean-ish query parameters (1/true/yes).
+func isTruthy(v string) bool {
+	switch strings.ToLower(v) {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+// isBodyTooLarge reports whether a decode error came from
+// http.MaxBytesReader tripping the body cap.
+func isBodyTooLarge(err error) bool {
+	var mbe *http.MaxBytesError
+	return errors.As(err, &mbe)
 }
 
 // setEpochHeader stamps the response with the published-state generation
@@ -283,6 +534,11 @@ func (s *Server) handleViews(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleViewByID(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/views/")
 	parts := strings.Split(rest, "/")
+	// A trailing slash (/views/v0/) is the same resource as /views/v0,
+	// not an "unknown view endpoint".
+	if len(parts) > 1 && parts[len(parts)-1] == "" {
+		parts = parts[:len(parts)-1]
+	}
 	id := parts[0]
 	s.mu.RLock()
 	v, ok := s.byID[id]
@@ -297,9 +553,36 @@ func (s *Server) handleViewByID(w http.ResponseWriter, r *http.Request) {
 		m := v.Current()
 		setEpochHeader(w, m)
 		writeJSON(w, http.StatusOK, answersOfMat(id, v, m))
+	case len(parts) == 1 && r.Method == http.MethodDelete:
+		// Drop the view from the wire registry and the engine's
+		// maintenance set; its id is never reused (atomic counter).
+		s.mu.Lock()
+		delete(s.byID, id)
+		for i, e := range s.views {
+			if e.id == id {
+				s.views = append(s.views[:i], s.views[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		s.q.DropView(v)
+		s.counters.viewsDeleted.Add(1)
+		w.WriteHeader(http.StatusNoContent)
 	case len(parts) == 2 && parts[1] == "feedback" && r.Method == http.MethodPost:
+		release, admitted := s.admitWrite()
+		if !admitted {
+			s.shedWrite(w)
+			return
+		}
+		defer release()
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		var req FeedbackRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			if isBodyTooLarge(err) {
+				httpError(w, http.StatusRequestEntityTooLarge,
+					"request body exceeds %d bytes", s.cfg.MaxBodyBytes)
+				return
+			}
 			httpError(w, http.StatusBadRequest, "bad json: %v", err)
 			return
 		}
@@ -313,6 +596,15 @@ func (s *Server) handleViewByID(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if err := s.q.FeedbackRow(v, req.Row, kind); err != nil {
+			if errors.Is(err, core.ErrRowOutOfRange) {
+				// Not (necessarily) a malformed request: a concurrent
+				// weight update can rematerialise the view between the
+				// client reading its rows and posting feedback. Tell the
+				// client its read is stale so it re-reads and resubmits.
+				setEpochHeader(w, v.Current())
+				httpError(w, http.StatusConflict, "%v; re-read the view and resubmit", err)
+				return
+			}
 			httpError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
@@ -402,6 +694,44 @@ type StatsResponse struct {
 	Epoch      uint64          `json:"epoch"`
 	Cache      core.CacheStats `json:"cache"`
 	Plan       core.PlanStats  `json:"plan"`
+	Serving    ServingStats    `json:"serving"`
+}
+
+// ServingStats reports the admission-control layer: configured limits,
+// instantaneous gauges (in-flight queries, queued writes) and cumulative
+// shed/served counters. A load driver reads ShedQueries/ShedWrites to
+// know how much of its offered load the server refused.
+type ServingStats struct {
+	InFlightQueries    int   `json:"inflight_queries"`
+	MaxInFlightQueries int   `json:"max_inflight_queries"`
+	QueuedWrites       int   `json:"queued_writes"`
+	WriteQueueDepth    int   `json:"write_queue_depth"`
+	ServedQueries      int64 `json:"served_queries"`
+	EphemeralQueries   int64 `json:"ephemeral_queries"`
+	ShedQueries        int64 `json:"shed_queries"`
+	ShedWrites         int64 `json:"shed_writes"`
+	ViewsDeleted       int64 `json:"views_deleted"`
+	MaxParallel        int   `json:"max_parallel"`
+	MaxViews           int   `json:"max_views"`
+	MaxBodyBytes       int64 `json:"max_body_bytes"`
+}
+
+// ServingStats samples the admission-control counters.
+func (s *Server) ServingStats() ServingStats {
+	return ServingStats{
+		InFlightQueries:    len(s.queryTokens),
+		MaxInFlightQueries: s.cfg.MaxInFlightQueries,
+		QueuedWrites:       len(s.writeTokens),
+		WriteQueueDepth:    s.cfg.WriteQueueDepth,
+		ServedQueries:      s.counters.servedQueries.Load(),
+		EphemeralQueries:   s.counters.ephemeralQueries.Load(),
+		ShedQueries:        s.counters.shedQueries.Load(),
+		ShedWrites:         s.counters.shedWrites.Load(),
+		ViewsDeleted:       s.counters.viewsDeleted.Load(),
+		MaxParallel:        s.cfg.MaxParallel,
+		MaxViews:           s.cfg.MaxViews,
+		MaxBodyBytes:       s.cfg.MaxBodyBytes,
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -423,11 +753,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"relation": sum.Relations, "attribute": sum.Attributes,
 			"value": sum.Values, "keyword": sum.Keywords,
 		},
-		Edges: make(map[string]int, len(sum.ByEdgeKind)),
-		Views: nViews,
-		Epoch: s.q.Epoch(),
-		Cache: s.q.CacheStats(),
-		Plan:  s.q.PlanStats(),
+		Edges:   make(map[string]int, len(sum.ByEdgeKind)),
+		Views:   nViews,
+		Epoch:   s.q.Epoch(),
+		Cache:   s.q.CacheStats(),
+		Plan:    s.q.PlanStats(),
+		Serving: s.ServingStats(),
 	}
 	for k, n := range sum.ByEdgeKind {
 		resp.Edges[k.String()] = n
@@ -435,10 +766,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// logf is the server's error logger; tests swap it to assert (or silence)
+// logging.
+var logf = log.Printf
+
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Usually a client that hung up mid-response; either way the
+		// error must not vanish silently — the status line already went
+		// out, so logging is all that's left.
+		logf("server: encoding %T response: %v", v, err)
+	}
 }
 
 func httpError(w http.ResponseWriter, status int, format string, args ...interface{}) {

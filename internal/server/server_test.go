@@ -120,10 +120,16 @@ func TestFeedbackEndpoint(t *testing.T) {
 	if bad.StatusCode != http.StatusBadRequest {
 		t.Errorf("bad kind status = %d", bad.StatusCode)
 	}
+	// Out-of-range rows are a conflict, not a bad request: the index may
+	// have been valid against the materialisation the client read before
+	// a concurrent write re-ranked it. 409 tells the client to re-read.
 	oob := postJSON(t, ts.URL+"/views/v0/feedback", FeedbackRequest{Row: 10_000, Kind: "valid"})
 	oob.Body.Close()
-	if oob.StatusCode != http.StatusBadRequest {
-		t.Errorf("out-of-range row status = %d", oob.StatusCode)
+	if oob.StatusCode != http.StatusConflict {
+		t.Errorf("out-of-range row status = %d, want %d", oob.StatusCode, http.StatusConflict)
+	}
+	if oob.Header.Get("X-Q-Epoch") == "" {
+		t.Error("409 response missing X-Q-Epoch header")
 	}
 }
 

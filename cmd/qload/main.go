@@ -18,13 +18,22 @@
 // grow the server's view registry (-persistent to opt out). -register and
 // -feedback divert those fractions of operations to the write path.
 //
+// After the run qload scrapes the server's GET /metrics exposition and
+// folds it into the report (family/sample counts, per-family totals for
+// the core families), so BENCH_qload.json carries the server-side view of
+// the run next to the client-side latencies. -metrics=false skips the
+// scrape (e.g. against a server without the endpoint).
+//
 // Exit status is non-zero with -fail-5xx if the run saw any 5xx response
-// or transport error — the CI smoke gate.
+// or transport error, and with -fail-metrics if the /metrics scrape
+// failed, parsed as invalid exposition, or was missing a core metric
+// family — the CI smoke gates.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -49,6 +58,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "schedule seed")
 	out := flag.String("out", "BENCH_qload.json", "machine-readable report path (empty = none)")
 	fail5xx := flag.Bool("fail-5xx", false, "exit non-zero if any 5xx or transport error occurred")
+	scrape := flag.Bool("metrics", true, "scrape /metrics after the run into the report")
+	failMetrics := flag.Bool("fail-metrics", false, "exit non-zero if the /metrics scrape fails or lacks a core family")
 	flag.Parse()
 
 	vocab, err := vocabulary(*dataset, *queries)
@@ -74,6 +85,24 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "qload: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *scrape {
+		exp, err := loadgen.ScrapeMetrics(&http.Client{Timeout: *timeout}, *url)
+		if err != nil {
+			if *failMetrics {
+				fmt.Fprintf(os.Stderr, "qload: FAIL: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "qload: warning: %v\n", err)
+		} else {
+			rep.AttachMetrics(exp, loadgen.RequiredFamilies())
+			if *failMetrics && len(rep.MissingMetricFamilies) > 0 {
+				fmt.Fprintf(os.Stderr, "qload: FAIL: /metrics missing core families: %s\n",
+					strings.Join(rep.MissingMetricFamilies, ", "))
+				os.Exit(1)
+			}
+		}
 	}
 
 	fmt.Print(rep.Table())

@@ -25,6 +25,12 @@
 // read-header/read/write/idle timeouts so a slow or stalled client cannot
 // wedge the accept loop. cmd/qload drives this server at a target QPS and
 // reports latency percentiles against these limits.
+//
+// Observability: GET /metrics serves the engine and serving metric
+// families in Prometheus text format; -slow-query logs every query whose
+// wall time reaches the threshold, with its full stage breakdown; -pprof
+// additionally mounts net/http/pprof under /debug/pprof/ (off by default —
+// profiles expose internals, so opt in explicitly).
 package main
 
 import (
@@ -33,6 +39,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -54,6 +61,8 @@ func main() {
 	maxParallel := flag.Int("max-parallel", 0, "?parallel= ceiling (0 = GOMAXPROCS)")
 	maxViews := flag.Int("max-views", 0, "persistent view registry cap (0 = 10000)")
 	maxBody := flag.Int64("max-body", 0, "POST body byte cap before 413 (0 = 8 MiB)")
+	slowQuery := flag.Duration("slow-query", 0, "log queries at or over this wall time with their stage breakdown (0 = off)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	opts := core.DefaultOptions()
@@ -101,13 +110,27 @@ func main() {
 		}
 	}
 
-	handler := server.NewWith(q, server.Config{
+	var handler http.Handler = server.NewWith(q, server.Config{
 		MaxInFlightQueries: *maxInflight,
 		WriteQueueDepth:    *writeQueue,
 		MaxParallel:        *maxParallel,
 		MaxViews:           *maxViews,
 		MaxBodyBytes:       *maxBody,
+		SlowQueryThreshold: *slowQuery,
 	})
+	if *pprofOn {
+		// Mount pprof beside the API explicitly (not via the blank-import
+		// DefaultServeMux side effect) so it exists only when asked for.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Printf("pprof enabled under /debug/pprof/")
+	}
 	// Hardened listener: a slow or stalled client gets a bounded slice of
 	// the accept loop instead of wedging it. Request bodies are separately
 	// capped by the handler's MaxBytesReader (-max-body).

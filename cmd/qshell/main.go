@@ -18,6 +18,8 @@
 //	neighborhood         relations in the current view's α-neighbourhood
 //	stats                graph and catalog statistics
 //	:stats               engine + query-cache counters
+//	:trace               stage breakdown of the last query
+//	:metrics             dump the metric registry (Prometheus text format)
 //	help                 this text
 //	quit                 exit
 package main
@@ -35,6 +37,7 @@ import (
 	"qint/internal/datasets"
 	"qint/internal/matcher/mad"
 	"qint/internal/matcher/meta"
+	"qint/internal/obs"
 	"qint/internal/relstore"
 	"qint/internal/storage"
 )
@@ -67,6 +70,7 @@ func main() {
 	fmt.Println(`Type "help" for commands.`)
 
 	var view *core.View
+	var lastTrace *obs.Trace
 	sc := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Print("q> ")
@@ -87,7 +91,9 @@ func main() {
 		case "help":
 			printHelp()
 		case "query":
-			v, err := q.Query(rest)
+			// Traced so :trace can show where the last query's time went.
+			v, tr, err := q.QueryTraced(rest, 0)
+			lastTrace = tr
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
@@ -267,6 +273,16 @@ func main() {
 			}
 			printCache("expansion", cs.Expansion)
 			printCache("materialization", cs.Materialization)
+		case ":trace":
+			if lastTrace == nil {
+				fmt.Println("no trace; run a query first")
+				continue
+			}
+			fmt.Print(lastTrace)
+		case ":metrics":
+			if err := q.Metrics().WritePrometheus(os.Stdout); err != nil {
+				fmt.Println("error:", err)
+			}
 		default:
 			fmt.Printf("unknown command %q; try help\n", cmd)
 		}
@@ -316,6 +332,9 @@ func printHelp() {
   stats              catalog / graph statistics
   :stats             engine + query-cache counters (hits, misses,
                      coalesced, evictions, live epochs)
+  :trace             stage breakdown of the last query (expand, steiner,
+                     translate, plan, execute, materialize)
+  :metrics           dump the metric registry in Prometheus text format
   quit               exit
 `)
 }

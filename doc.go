@@ -318,4 +318,39 @@
 // and error counts, and X-Q-Epoch churn as a table plus BENCH_qload.json,
 // the per-PR perf-trajectory artifact CI uploads (qbench -exp load is the
 // in-process counterpart).
+//
+// # Observability
+//
+// One registry, one tracer (internal/obs — a standard-library-only leaf
+// package, so every layer hooks in without import cycles). Each core.Q
+// owns an obs.Registry created at construction; every engine counter the
+// system ever maintained (alignment Stats, planner PlanStats, cache
+// CacheStats, executor and top-k totals) now lives IN the registry, with
+// the legacy accessors kept as views over the same atomics — no number is
+// accounted twice. The server layers its serving families (served/shed
+// counters, in-flight and queue-depth gauges, uptime, build info) onto the
+// same registry and serves the whole set on GET /metrics in Prometheus
+// text exposition format 0.0.4. Registration is idempotent (same
+// name+labels returns the same counter; callback gauges replace), so
+// layers can be torn down and rebuilt over one engine.
+//
+// Per-query stage tracing is opt-in per call: Q.QueryTraced /
+// Q.QueryEphemeralTraced thread an obs.Trace through the pipeline, which
+// records one span per stage — cache_lookup, coalesced_wait (when the
+// singleflight layer parked the request behind an identical in-flight
+// computation), expand, steiner, translate, plan, execute, materialize.
+// Every instrument is valid as a nil pointer and no-ops disabled, so the
+// untraced path (Q.Query, and the benchmarks) pays one nil check per
+// stage and zero clock reads. Traced wall time feeds the
+// qint_query_duration_seconds summary and the per-stage
+// qint_query_stage_seconds_total counters; the HTTP server traces every
+// query, stamps the response with its id (X-Q-Trace), and with a
+// slow-query threshold configured (server.Config.SlowQueryThreshold,
+// qserver -slow-query) logs any query at or over it with its full stage
+// breakdown. qserver -pprof mounts net/http/pprof under /debug/pprof/
+// (explicitly, off by default). qload scrapes /metrics after a run into
+// BENCH_qload.json, and the CI smoke fails the build if the exposition is
+// unparseable or missing a core family. internal/core/README.md lists the
+// metric families and trace stages; internal/core/obs_test.go pins
+// metamorphically that tracing never changes a single view byte.
 package qint

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"qint/internal/obs"
 	"qint/internal/qcache"
 	"qint/internal/relstore"
 	"qint/internal/text"
@@ -123,29 +124,45 @@ func matCacheKey(keywords []string, k int, fingerprint string) string {
 // its singleflight group: a hit returns the shared immutable viewMat, a
 // miss computes once per in-flight key and caches the result. Unpublished
 // interim states and disabled caches read straight through.
-func (q *Q) materializeCached(st *qstate, keywords []string, k, parallelism int) (*viewMat, error) {
+//
+// A trace records the lookup as cache_lookup; a caller that coalesces onto
+// another flight's compute records its blocked time as coalesced_wait
+// (the pipeline spans land in the LEADER's trace — this caller did not run
+// the pipeline), while the leader's own trace carries the stage spans the
+// compute recorded into it.
+func (q *Q) materializeCached(st *qstate, keywords []string, k, parallelism int, tr *obs.Trace) (*viewMat, error) {
 	qc := q.qc
 	if qc == nil || qc.mat == nil || !st.published {
-		return q.materializeAt(st, keywords, k, parallelism)
+		return q.materializeAt(st, keywords, k, parallelism, tr)
 	}
 	key := qcache.Key{Epoch: st.epoch, K: matCacheKey(keywords, k, qc.fingerprint)}
-	if m, ok := qc.mat.Get(key); ok {
+	tlook := tr.Now()
+	m, ok := qc.mat.Get(key)
+	tr.Record(obs.StageCacheLookup, tlook)
+	if ok {
 		return m, nil
 	}
 	// Between the miss above and the flight below another flight may have
 	// completed and cached the key; the recompute is rare and benign (same
 	// epoch, byte-identical result, idempotent Put).
-	return qc.matG.Do(key, func() (*viewMat, error) {
+	computed := false
+	twait := tr.Now()
+	m, err := qc.matG.Do(key, func() (*viewMat, error) {
+		computed = true
 		if h := q.matComputeHook; h != nil {
 			h()
 		}
-		m, err := q.materializeAt(st, keywords, k, parallelism)
+		m, err := q.materializeAt(st, keywords, k, parallelism, tr)
 		if err != nil {
 			return nil, err
 		}
 		qc.mat.Put(key, m)
 		return m, nil
 	})
+	if !computed {
+		tr.Record(obs.StageCoalescedWait, twait)
+	}
+	return m, err
 }
 
 // valueExpansions returns one keyword's value-match expansion — scored,

@@ -24,9 +24,11 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"qint/internal/learning"
 	"qint/internal/matcher"
+	"qint/internal/obs"
 	"qint/internal/relstore"
 	"qint/internal/searchgraph"
 	"qint/internal/text"
@@ -219,19 +221,18 @@ func (o Options) withDefaults() Options {
 // Stats counts the alignment work done during source registration; the
 // Figure 6–8 experiments read these counters.
 //
-// The counters are atomic so readers (shells, monitoring, tests) can
-// sample them concurrently with an in-flight registration without a data
-// race — Query has been lock-free since the snapshot redesign, so nothing
-// on any hot path may bump a plain int. Today every writer of these
-// particular counters runs under writerMu (they count registration-side
-// work only; the query path's counters live in the qcache layer and are
-// atomic there — see CacheStats), but the atomic representation keeps the
-// type safe under any future caller, and the hammer in cache_test.go pins
-// concurrent reads under -race.
+// The counters are registry-owned (see internal/obs): New wires each field
+// to the engine's qint_align_* metric families, so this struct is a typed
+// view over the registry rather than a second accounting. obs counters are
+// atomic, so readers (shells, monitoring, tests) can sample them
+// concurrently with an in-flight registration without a data race — Query
+// has been lock-free since the snapshot redesign, so nothing on any hot
+// path may bump a plain int; the hammer in cache_test.go pins concurrent
+// reads under -race.
 type Stats struct {
-	baseMatcherCalls            atomic.Int64
-	attrComparisons             atomic.Int64
-	columnComparisonsUnfiltered atomic.Int64
+	baseMatcherCalls            *obs.Counter
+	attrComparisons             *obs.Counter
+	columnComparisonsUnfiltered *obs.Counter
 }
 
 // BaseMatcherCalls counts relation-pair matcher invocations (the
@@ -248,7 +249,9 @@ func (s *Stats) ColumnComparisonsUnfiltered() int {
 	return int(s.columnComparisonsUnfiltered.Load())
 }
 
-// Reset zeroes the counters.
+// Reset zeroes the counters. (The registry sees the reset too — the
+// /metrics families and this view are the same counters; Prometheus-style
+// consumers treat a decrease as an ordinary counter reset.)
 func (s *Stats) Reset() {
 	s.baseMatcherCalls.Store(0)
 	s.attrComparisons.Store(0)
@@ -273,6 +276,10 @@ type qstate struct {
 	// epoch counts publishes that changed anything; a view materialisation
 	// records the epoch it was computed at so staleness is one comparison.
 	epoch uint64
+	// publishedAt is when this generation was published (zero on interim
+	// unpublished states) — the qint_epoch_age_seconds gauge and the /stats
+	// epoch-age field read it.
+	publishedAt time.Time
 	// published marks a real, committed generation — the only kind the
 	// query caches may key on. Registration builds interim qstates over the
 	// half-built next generation (unpublishedStateLocked) that reuse the
@@ -341,11 +348,10 @@ type Q struct {
 	// accessed under writerMu thereafter. See durable.go.
 	persist *persistence
 
-	// planMu guards planStats, the instance-lifetime accumulation of the
-	// per-materialisation planner counters (join reordering, shared
-	// subtrees, CSE hits) served by PlanStats and the /stats endpoint.
-	planMu    sync.Mutex
-	planStats relstore.PlanStats
+	// metrics is the engine's metric set — every counter above and below
+	// registers into its obs.Registry (obs.go). Set once by New, never nil
+	// on a constructed Q.
+	metrics *engineMetrics
 }
 
 // PlanStats is one snapshot of the planner's counters — an alias of the
@@ -359,20 +365,28 @@ type PlanStats = relstore.PlanStats
 // cache (CSE hits). All zero when Options.PlannerOff is set. Safe for
 // concurrent use.
 func (q *Q) PlanStats() PlanStats {
-	q.planMu.Lock()
-	defer q.planMu.Unlock()
-	return q.planStats
+	m := q.metrics
+	return PlanStats{
+		BranchesPlanned:   m.planBranchesPlanned.Load(),
+		BranchesReordered: m.planBranchesReordered.Load(),
+		SharedSubtrees:    m.planSharedSubtrees.Load(),
+		SubplansComputed:  m.planSubplansComputed.Load(),
+		CSEHits:           m.planCSEHits.Load(),
+	}
 }
 
 // addPlanStats folds one materialisation's planner counters into the
-// instance totals.
+// registry (PlanStats reads them back as a snapshot view).
 func (q *Q) addPlanStats(s relstore.PlanStats) {
 	if s == (relstore.PlanStats{}) {
 		return
 	}
-	q.planMu.Lock()
-	q.planStats.Add(s)
-	q.planMu.Unlock()
+	m := q.metrics
+	m.planBranchesPlanned.Add(s.BranchesPlanned)
+	m.planBranchesReordered.Add(s.BranchesReordered)
+	m.planSharedSubtrees.Add(s.SharedSubtrees)
+	m.planSubplansComputed.Add(s.SubplansComputed)
+	m.planCSEHits.Add(s.CSEHits)
 }
 
 // New constructs an empty Q system with the given options and the default
@@ -392,6 +406,7 @@ func New(opts Options) *Q {
 	q.Catalog.UseMaterialisedExec(o.MaterialisedExec)
 	q.Catalog.UsePlanner(!o.PlannerOff)
 	q.Catalog.SetParallelism(o.Parallelism)
+	q.instrumentEngine(newEngineMetrics())
 	q.publishLocked()
 	return q
 }
@@ -417,6 +432,10 @@ func (q *Q) CurrentGraph() *searchgraph.Snapshot { return q.state().graph }
 // checks).
 func (q *Q) Epoch() uint64 { return q.state().epoch }
 
+// EpochTime returns when the current state generation was published —
+// /stats reports the age alongside the epoch number.
+func (q *Q) EpochTime() time.Time { return q.state().publishedAt }
+
 // publishLocked publishes the builder state as the next read generation.
 // Callers hold writerMu (or are inside New, before any concurrency). When
 // nothing changed since the last publish the previous generation is
@@ -441,6 +460,7 @@ func (q *Q) publishLocked() *qstate {
 		parallelism: q.opts.Parallelism,
 		execSem:     sem,
 		epoch:       q.epoch,
+		publishedAt: time.Now(),
 		published:   true,
 	}
 	q.st.Store(st)

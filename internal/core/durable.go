@@ -185,6 +185,7 @@ func openFrom(st *storage.Store, opts Options) (*Q, error) {
 		cat.UseMaterialisedExec(q.opts.MaterialisedExec)
 		cat.UsePlanner(!q.opts.PlannerOff)
 		cat.SetParallelism(q.opts.Parallelism)
+		cat.InstrumentExec(&q.metrics.exec) // the loaded catalog replaces the instrumented one
 		graph, err := searchgraph.Load(bytes.NewReader(graphSec))
 		if err != nil {
 			return nil, err

@@ -52,7 +52,13 @@ func (q *Q) Explain(v *View, rowIdx int) (*Explanation, error) {
 	}
 	ov := mat.ov
 	ex := &Explanation{Tree: tree, SQL: cq.SQL(), Cost: row.Cost}
-	if plan, perr := relstore.ExplainPlan(mat.st.cat, cq); perr == nil {
+	// A plan rendering failure must not silently vanish from the
+	// explanation (it used to): count it and surface the error in place of
+	// the plan lines — the rest of the provenance is still valid.
+	if plan, perr := relstore.ExplainPlan(mat.st.cat, cq); perr != nil {
+		q.metrics.explainErrors.Inc()
+		ex.Plan = []string{fmt.Sprintf("plan: %v", perr)}
+	} else {
 		ex.Plan = plan
 	}
 	for _, eid := range tree.Edges {

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"qint/internal/obs"
+)
+
+// viewFingerprint renders everything a client can observe about a view's
+// answer — tree count, alpha, and every result row in order — so two views
+// can be compared byte-for-byte.
+func viewFingerprint(v *View) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trees=%d alpha=%.9f k=%d\n", len(v.Trees()), v.Alpha(), v.K)
+	res := v.Result()
+	if res == nil {
+		sb.WriteString("nil result")
+		return sb.String()
+	}
+	for _, row := range res.Rows {
+		fmt.Fprintf(&sb, "%.9f|%d|%s\n", row.Cost, row.Branch, strings.Join(row.Values, "|"))
+	}
+	return sb.String()
+}
+
+// TestTracingMetamorphic is the tracing-changes-nothing check: the same
+// query against identical fresh engines must produce byte-identical view
+// fingerprints whether or not a trace rides along, and the trace itself
+// must be internally consistent (spans for the pipeline stages, stage sum
+// bounded by wall).
+func TestTracingMetamorphic(t *testing.T) {
+	for _, query := range []string{
+		"entry 'PUB0001'",
+		"'Kringle domain' 'PUB0001'",
+		"'plasma membrane' 'IPR000001'",
+	} {
+		plain := newFixtureQ(t, true)
+		traced := newFixtureQ(t, true)
+
+		pv, err := plain.Query(query)
+		if err != nil {
+			t.Fatalf("Query(%q): %v", query, err)
+		}
+		tv, tr, err := traced.QueryTraced(query, 0)
+		if err != nil {
+			t.Fatalf("QueryTraced(%q): %v", query, err)
+		}
+		if got, want := viewFingerprint(tv), viewFingerprint(pv); got != want {
+			t.Errorf("query %q: traced view differs from untraced:\n--- traced ---\n%s--- untraced ---\n%s", query, got, want)
+		}
+
+		if tr == nil || tr.ID() == "" {
+			t.Fatalf("query %q: no trace returned", query)
+		}
+		totals := tr.StageTotals()
+		for _, st := range []obs.Stage{obs.StageCacheLookup, obs.StageExpand, obs.StageSteiner, obs.StageMaterialize} {
+			if _, ok := totals[st]; !ok {
+				t.Errorf("query %q: trace missing stage %s; have %v", query, st, totals)
+			}
+		}
+		if sum, wall := tr.StageSum(), tr.Wall(); sum <= 0 || sum > wall {
+			t.Errorf("query %q: stage sum %v outside (0, wall=%v]", query, sum, wall)
+		}
+	}
+}
+
+// TestUntracedQueryReturnsNilTrace pins the disabled fast path: the plain
+// entry points must not fabricate a trace.
+func TestUntracedQueryReturnsNilTrace(t *testing.T) {
+	q := newFixtureQ(t, false)
+	if _, err := q.Query("entry 'PUB0001'"); err != nil {
+		t.Fatal(err)
+	}
+	if q.metrics.queryDur.Count() != 0 {
+		t.Errorf("untraced query recorded a duration sample")
+	}
+}
+
+// TestEngineMetricsAccounting runs traced queries and checks the registry
+// view agrees with the legacy accessors and with what actually happened:
+// query totals, stage time, cache hit on the repeat, and a valid /metrics
+// exposition covering the engine families.
+func TestEngineMetricsAccounting(t *testing.T) {
+	q := newFixtureQ(t, true)
+	if _, _, err := q.QueryTraced("entry 'PUB0001'", 0); err != nil {
+		t.Fatal(err)
+	}
+	// Identical ephemeral query: served from the materialisation cache.
+	if _, _, err := q.QueryEphemeralTraced("entry 'PUB0001'", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := q.Metrics().WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	exp, err := obs.ParseExposition(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("engine exposition is invalid: %v", err)
+	}
+	if missing := exp.MissingFamilies([]string{
+		"qint_queries_total", "qint_query_errors_total", "qint_query_duration_seconds",
+		"qint_query_stage_seconds_total", "qint_query_stage_ops_total",
+		"qint_align_base_matcher_calls_total", "qint_plan_branches_planned_total",
+		"qint_exec_branches_total", "qint_cache_hits_total", "qint_epoch", "qint_views",
+	}); len(missing) != 0 {
+		t.Errorf("engine exposition missing families: %v", missing)
+	}
+
+	if v, _ := exp.Value("qint_queries_total"); v != 2 {
+		t.Errorf("qint_queries_total = %v, want 2", v)
+	}
+	if v, _ := exp.Value("qint_query_duration_seconds_count"); v != 2 {
+		t.Errorf("duration summary count = %v, want 2", v)
+	}
+	if v, _ := exp.Value(`qint_cache_hits_total{cache="materialization"}`); v != 1 {
+		t.Errorf("materialization cache hits = %v, want 1", v)
+	}
+	if v, _ := exp.Value(`qint_query_stage_seconds_total{stage="expand"}`); v <= 0 {
+		t.Errorf("expand stage seconds = %v, want > 0", v)
+	}
+	if v, _ := exp.Value(`qint_query_stage_ops_total{stage="cache_lookup"}`); v != 2 {
+		t.Errorf("cache_lookup ops = %v, want 2", v)
+	}
+
+	// The legacy views read the same counters the registry exposes.
+	cs := q.CacheStats()
+	if got, _ := exp.Value(`qint_cache_hits_total{cache="materialization"}`); uint64(got) != cs.Materialization.Hits {
+		t.Errorf("CacheStats materialization hits %d != exposed %v", cs.Materialization.Hits, got)
+	}
+	if got, _ := exp.Value("qint_exec_branches_total"); got <= 0 {
+		t.Errorf("qint_exec_branches_total = %v, want > 0", got)
+	}
+	if got, _ := exp.Value("qint_align_base_matcher_calls_total"); int(got) != q.Stats.BaseMatcherCalls() {
+		t.Errorf("Stats.BaseMatcherCalls %d != exposed %v", q.Stats.BaseMatcherCalls(), got)
+	}
+	if v, _ := exp.Value("qint_epoch"); v != float64(q.Epoch()) {
+		t.Errorf("qint_epoch = %v, want %d", v, q.Epoch())
+	}
+	if q.EpochTime().IsZero() {
+		t.Errorf("EpochTime is zero after publish")
+	}
+}

@@ -80,6 +80,7 @@ func Load(r io.Reader) (*Q, error) {
 	cat.UseMaterialisedExec(q.opts.MaterialisedExec)
 	cat.UsePlanner(!q.opts.PlannerOff)
 	cat.SetParallelism(q.opts.Parallelism)
+	cat.InstrumentExec(&q.metrics.exec) // the loaded catalog replaces the instrumented one
 	q.Catalog = cat
 	q.Graph = graph
 	// Rebuild the keyword corpus from the catalog (it is derived state).

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"qint/internal/obs"
 	"qint/internal/relstore"
 	"qint/internal/searchgraph"
 	"qint/internal/steiner"
@@ -210,14 +211,32 @@ func (q *Q) QueryEphemeralWith(query string, parallelism int) (*View, error) {
 	if len(keywords) == 0 {
 		return nil, fmt.Errorf("core: empty keyword query %q", query)
 	}
-	st := q.state()
-	mat, err := q.materializeCached(st, keywords, q.opts.K, parallelism)
-	if err != nil {
-		return nil, err
+	v, _, err := q.runQuery(keywords, 0, parallelism, true, nil)
+	return v, err
+}
+
+// QueryTraced is QueryWith with per-stage tracing: the returned trace
+// carries the query's id and stage breakdown (cache lookup, expansion,
+// Steiner search, translation, planning, execution, materialisation) and
+// its totals are folded into the qint_query_stage_* metric families.
+// Tracing is per-call: untraced queries pay one nil check per stage and no
+// clock reads.
+func (q *Q) QueryTraced(query string, parallelism int) (*View, *obs.Trace, error) {
+	keywords := parseKeywords(query)
+	if len(keywords) == 0 {
+		return nil, nil, fmt.Errorf("core: empty keyword query %q", query)
 	}
-	v := &View{Keywords: keywords, K: q.opts.K}
-	v.mat.Store(mat)
-	return v, nil
+	return q.runQuery(keywords, 0, parallelism, false, obs.NewTrace())
+}
+
+// QueryEphemeralTraced is QueryEphemeralWith with per-stage tracing (see
+// QueryTraced) — the serving path's traced variant.
+func (q *Q) QueryEphemeralTraced(query string, parallelism int) (*View, *obs.Trace, error) {
+	keywords := parseKeywords(query)
+	if len(keywords) == 0 {
+		return nil, nil, fmt.Errorf("core: empty keyword query %q", query)
+	}
+	return q.runQuery(keywords, 0, parallelism, true, obs.NewTrace())
 }
 
 // QueryKeywords runs a keyword query from an already-split keyword list,
@@ -237,20 +256,36 @@ func (q *Q) QueryKeywords(keywords []string, k int) (*View, error) {
 // queryKeywords is the shared tail of QueryWith and QueryKeywords:
 // materialise (through the cache) at the requested k and register the view.
 func (q *Q) queryKeywords(keywords []string, k, parallelism int) (*View, error) {
+	v, _, err := q.runQuery(keywords, k, parallelism, false, nil)
+	return v, err
+}
+
+// runQuery is the single tail every query entry point funnels through:
+// materialise through the cache at the requested k, register the view
+// unless the call is ephemeral, and account the query (and its trace, when
+// one is attached) in the engine metrics.
+func (q *Q) runQuery(keywords []string, k, parallelism int, ephemeral bool, tr *obs.Trace) (*View, *obs.Trace, error) {
 	if k <= 0 {
 		k = q.opts.K
 	}
+	m := q.metrics
+	m.queries.Inc()
 	st := q.state()
-	mat, err := q.materializeCached(st, keywords, k, parallelism)
+	mat, err := q.materializeCached(st, keywords, k, parallelism, tr)
 	if err != nil {
-		return nil, err
+		m.queryErrors.Inc()
+		q.observeTrace(tr)
+		return nil, tr, err
 	}
 	v := &View{Keywords: keywords, K: k}
 	v.mat.Store(mat)
-	q.viewsMu.Lock()
-	q.views = append(q.views, v)
-	q.viewsMu.Unlock()
-	return v, nil
+	if !ephemeral {
+		q.viewsMu.Lock()
+		q.views = append(q.views, v)
+		q.viewsMu.Unlock()
+	}
+	q.observeTrace(tr)
+	return v, tr, nil
 }
 
 // expandKeyword adds one keyword's query-graph expansion to the overlay
@@ -312,24 +347,31 @@ func (q *Q) expandKeyword(st *qstate, ov *searchgraph.Overlay, kw string) steine
 // this function returns), so the materialisation cache can hand one result
 // to any number of views and concurrent readers; callers go through
 // materializeCached.
-func (q *Q) materializeAt(st *qstate, keywords []string, k, parallelism int) (*viewMat, error) {
+//
+// tr, when non-nil, receives one span per pipeline stage (expand, steiner,
+// translate, plan, execute, materialize); a nil trace costs one nil check
+// per stage and no clock reads.
+func (q *Q) materializeAt(st *qstate, keywords []string, k, parallelism int, tr *obs.Trace) (*viewMat, error) {
 	workers := parallelism
 	if workers <= 0 {
 		workers = st.parallelism
 	}
 	ov := st.graph.NewOverlay()
+	texp := tr.Now()
 	terminals := make([]steiner.NodeID, 0, len(keywords))
 	for _, kw := range keywords {
 		terminals = append(terminals, q.expandKeyword(st, ov, kw))
 	}
-	trees, queries, err := q.planOverlay(st, ov, terminals, k, workers)
+	tr.Record(obs.StageExpand, texp)
+	trees, queries, err := q.planOverlay(st, ov, terminals, k, workers, tr)
 	if err != nil {
 		return nil, err
 	}
-	result, err := q.executeBranches(st, queries, k, workers)
+	result, err := q.executeBranches(st, queries, k, workers, tr)
 	if err != nil {
 		return nil, err
 	}
+	tmat := tr.Now()
 	// α is the cost of the k-th top-scoring RESULT (paper §3.3: "the cost
 	// of the kth top-scoring result for the user view") — when the best
 	// query yields many tuples, α stays at that query's cost, keeping the
@@ -347,7 +389,7 @@ func (q *Q) materializeAt(st *qstate, keywords []string, k, parallelism int) (*v
 	case len(trees) > 0:
 		alpha = trees[len(trees)-1].Cost
 	}
-	return &viewMat{
+	m := &viewMat{
 		epoch:     st.epoch,
 		st:        st,
 		ov:        ov,
@@ -356,7 +398,9 @@ func (q *Q) materializeAt(st *qstate, keywords []string, k, parallelism int) (*v
 		queries:   queries,
 		result:    result,
 		alpha:     alpha,
-	}, nil
+	}
+	tr.Record(obs.StageMaterialize, tmat)
+	return m, nil
 }
 
 // executeBranches is the execute phase of materialisation: the branch
@@ -375,7 +419,7 @@ func (q *Q) materializeAt(st *qstate, keywords []string, k, parallelism int) (*v
 // order and stops — skipping a branch's execution entirely — once the
 // running top-k bound is provably unbeatable for it; the result then holds
 // exactly the top-k rows (see the knob's doc for the contract).
-func (q *Q) executeBranches(st *qstate, queries []*relstore.ConjunctiveQuery, k, workers int) (*relstore.UnionResult, error) {
+func (q *Q) executeBranches(st *qstate, queries []*relstore.ConjunctiveQuery, k, workers int, tr *obs.Trace) (*relstore.UnionResult, error) {
 	prov := make([]string, len(queries))
 	for i, cq := range queries {
 		prov[i] = cq.Signature()
@@ -383,25 +427,34 @@ func (q *Q) executeBranches(st *qstate, queries []*relstore.ConjunctiveQuery, k,
 	if q.opts.TopKPrune && !q.opts.MaterialisedExec {
 		// Serial by design: whether branch i can be skipped depends on the
 		// rows branches 0..i-1 produced. One execSem slot covers the run.
+		// Planning is interleaved with execution here (branches are planned
+		// lazily, skipped ones never), so the whole run traces as execute.
+		texec := tr.Now()
 		st.execSem <- struct{}{}
 		defer func() { <-st.execSem }()
 		result, tkStats, err := relstore.ExecuteTopKUnion(st.cat, queries, k, prov)
+		tr.Record(obs.StageExecute, texec)
 		if err != nil {
 			return nil, err
 		}
 		q.addPlanStats(tkStats.Plan)
+		q.countTopK(tkStats)
 		return result, nil
 	}
 	results := make([]*relstore.ResultSet, len(queries))
+	texec := tr.Now()
 	if !q.opts.PlannerOff && !q.opts.MaterialisedExec {
 		// Plan the batch as a unit: join orders are chosen per branch by
 		// estimated cardinality, and join subtrees shared across branches
 		// execute once through the per-materialisation subplan cache —
 		// concurrent branches coalesce on the cached subplan.
+		tplan := tr.Now()
 		bp, err := relstore.PlanBatch(st.cat, queries)
+		tr.Record(obs.StagePlan, tplan)
 		if err != nil {
 			return nil, err
 		}
+		texec = tr.Now()
 		err = runIndexed(len(queries), workers, func(i int) error {
 			st.execSem <- struct{}{}
 			defer func() { <-st.execSem }()
@@ -439,7 +492,9 @@ func (q *Q) executeBranches(st *qstate, queries []*relstore.ConjunctiveQuery, k,
 			Provenance: prov[i],
 		}
 	}
-	return relstore.DisjointUnion(branches), nil
+	res := relstore.DisjointUnion(branches)
+	tr.Record(obs.StageExecute, texec)
+	return res, nil
 }
 
 // planOverlay is the plan phase of materialisation: top-k Steiner trees
@@ -448,7 +503,8 @@ func (q *Q) executeBranches(st *qstate, queries []*relstore.ConjunctiveQuery, k,
 // post-passes run serially in tree-cost order — signature deduplication and
 // the §2.2 output-schema alignment — so the produced query list is
 // deterministic regardless of parallelism.
-func (q *Q) planOverlay(st *qstate, ov *searchgraph.Overlay, terminals []steiner.NodeID, k, workers int) ([]steiner.Tree, []*relstore.ConjunctiveQuery, error) {
+func (q *Q) planOverlay(st *qstate, ov *searchgraph.Overlay, terminals []steiner.NodeID, k, workers int, tr *obs.Trace) ([]steiner.Tree, []*relstore.ConjunctiveQuery, error) {
+	tsteiner := tr.Now()
 	var trees []steiner.Tree
 	if q.opts.UseApproxSteiner {
 		trees = steiner.ApproxTopKSteinerOn(ov.View(), terminals, k)
@@ -477,8 +533,10 @@ func (q *Q) planOverlay(st *qstate, ov *searchgraph.Overlay, terminals []steiner
 		}
 		trees = kept
 	}
+	tr.Record(obs.StageSteiner, tsteiner)
 
 	// Translate every tree concurrently; cqs is indexed by tree.
+	ttrans := tr.Now()
 	cqs := make([]*relstore.ConjunctiveQuery, len(trees))
 	err := runIndexed(len(trees), workers, func(i int) error {
 		cq, err := treeToQuery(st, ov, trees[i])
@@ -506,6 +564,7 @@ func (q *Q) planOverlay(st *qstate, ov *searchgraph.Overlay, terminals []steiner
 	for _, cq := range queries {
 		q.alignOutputColumns(st, cq, outputSchema)
 	}
+	tr.Record(obs.StageTranslate, ttrans)
 	return trees, queries, nil
 }
 
@@ -540,7 +599,7 @@ func (q *Q) refreshLocked() error {
 	// fan-out coalesces on the in-flight compute), and a query racing the
 	// refresh at the same epoch reuses it too.
 	return runIndexed(len(views), st.parallelism, func(i int) error {
-		mat, err := q.materializeCached(st, views[i].Keywords, views[i].K, 0)
+		mat, err := q.materializeCached(st, views[i].Keywords, views[i].K, 0, nil)
 		if err != nil {
 			return err
 		}

@@ -1,141 +1,10 @@
 package loadgen
 
-import (
-	"math/bits"
-	"sync/atomic"
-	"time"
-)
+import "qint/internal/obs"
 
-// Histogram is an HdrHistogram-style log-linear latency recorder: values
-// (nanoseconds) bucket into 64 linear sub-buckets per power of two, giving
-// a fixed relative error of at most 1/64 (~1.6%) across the whole dynamic
-// range — the same layout Gil Tene's HdrHistogram uses, sized here for
-// durations from 1ns to ~4.6h in a flat 3.8k-bucket array. Recording is an
-// atomic increment, so any number of load workers share one histogram with
-// no lock and no per-worker merge step.
-//
-// The flat layout works because for values v >= 128 with e = len(v)-7, the
-// shifted mantissa v>>e lies in [64,128), so index e*64 + v>>e tiles the
-// integers contiguously: [1,128) for e=0, then 64 buckets per further
-// power of two.
-type Histogram struct {
-	counts [histBuckets]atomic.Int64
-	total  atomic.Int64
-	sum    atomic.Int64
-	max    atomic.Int64
-}
-
-const (
-	// histSubBits is log2 of the linear sub-bucket count per power of two.
-	histSubBits = 6
-	histSub     = 1 << histSubBits // 64
-	// histMaxExp caps the exponent so the array stays small; values above
-	// ~2^62ns saturate into the top bucket.
-	histMaxExp  = 56
-	histBuckets = (histMaxExp + 2) * histSub // e in [0,histMaxExp], plus the e=0 double-width base
-)
-
-// bucketIndex maps a value to its log-linear bucket.
-func bucketIndex(v int64) int {
-	if v < 1 {
-		v = 1
-	}
-	u := uint64(v)
-	e := bits.Len64(u) - (histSubBits + 1)
-	if e <= 0 {
-		return int(u) // [1,128): exact
-	}
-	if e > histMaxExp {
-		e = histMaxExp
-		u = 1<<uint(histMaxExp+histSubBits+1) - 1
-	}
-	return e*histSub + int(u>>uint(e))
-}
-
-// bucketUpperEdge is the largest value mapping to bucket i — quantiles
-// report this edge, so a reported percentile never understates the
-// recorded latency (mirrors HdrHistogram's highestEquivalentValue).
-func bucketUpperEdge(i int) int64 {
-	if i < 2*histSub {
-		return int64(i)
-	}
-	e := i/histSub - 1
-	m := int64(i%histSub + histSub)
-	return m<<uint(e) + (1 << uint(e)) - 1
-}
-
-// Record adds one value. Safe for concurrent use.
-func (h *Histogram) Record(v time.Duration) {
-	n := int64(v)
-	if n < 0 {
-		n = 0
-	}
-	h.counts[bucketIndex(n)].Add(1)
-	h.total.Add(1)
-	h.sum.Add(n)
-	for {
-		cur := h.max.Load()
-		if n <= cur || h.max.CompareAndSwap(cur, n) {
-			return
-		}
-	}
-}
-
-// Count returns the number of recorded values.
-func (h *Histogram) Count() int64 { return h.total.Load() }
-
-// Max returns the largest recorded value exactly (tracked outside the
-// buckets, so it has no quantisation error).
-func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
-
-// Mean returns the arithmetic mean of recorded values.
-func (h *Histogram) Mean() time.Duration {
-	n := h.total.Load()
-	if n == 0 {
-		return 0
-	}
-	return time.Duration(h.sum.Load() / n)
-}
-
-// Quantile returns the value at quantile q in [0,1]: the upper edge of the
-// first bucket at which the cumulative count reaches ceil(q*total). The
-// exact Max is returned for q high enough to select the last recorded
-// value.
-func (h *Histogram) Quantile(q float64) time.Duration {
-	total := h.total.Load()
-	if total == 0 {
-		return 0
-	}
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
-	}
-	target := int64(q*float64(total) + 0.5)
-	if target < 1 {
-		target = 1
-	}
-	if target > total {
-		target = total
-	}
-	var cum int64
-	for i := range h.counts {
-		c := h.counts[i].Load()
-		if c == 0 {
-			continue
-		}
-		cum += c
-		if cum >= target {
-			if cum == total {
-				// This bucket holds the maximum; report it exactly.
-				upper := bucketUpperEdge(i)
-				if m := h.max.Load(); m < upper {
-					return time.Duration(m)
-				}
-			}
-			return time.Duration(bucketUpperEdge(i))
-		}
-	}
-	return h.Max()
-}
+// Histogram is the HdrHistogram-style log-linear latency recorder. It
+// originated here and moved to internal/obs when the metrics registry
+// grew latency summaries; the alias keeps loadgen's public surface (and
+// its callers) unchanged. See obs.Histogram for the layout and the
+// relative-error contract.
+type Histogram = obs.Histogram

@@ -121,6 +121,15 @@ type Report struct {
 	FirstEpoch       uint64 `json:"first_epoch"`
 	LastEpoch        uint64 `json:"last_epoch"`
 	EpochTransitions int64  `json:"epoch_transitions"`
+
+	// Post-run /metrics scrape (AttachMetrics): scrape shape, required
+	// families that were absent, and per-family totals — the server-side
+	// view of the run, stored next to the client-side latencies.
+	MetricsScraped        bool               `json:"metrics_scraped"`
+	MetricFamilies        int                `json:"metric_families,omitempty"`
+	MetricSamples         int                `json:"metric_samples,omitempty"`
+	MissingMetricFamilies []string           `json:"missing_metric_families,omitempty"`
+	MetricTotals          map[string]float64 `json:"metric_totals,omitempty"`
 }
 
 // op is one precomputed schedule entry.
@@ -470,5 +479,6 @@ func (r *Report) Table() string {
 	}
 	fmt.Fprintf(&sb, "epochs: %d seen (%d -> %d), %d transitions\n",
 		r.EpochsSeen, r.FirstEpoch, r.LastEpoch, r.EpochTransitions)
+	r.metricsTable(&sb)
 	return sb.String()
 }

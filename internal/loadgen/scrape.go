@@ -1,0 +1,110 @@
+package loadgen
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"qint/internal/obs"
+)
+
+// RequiredFamilies is the set of metric families a healthy qserver always
+// exposes, spanning the four subsystems the exposition must cover: the
+// query pipeline, the serving caches, the join planner, and the HTTP
+// serving layer. qload's -fail-metrics gate and the CI smoke both check
+// this list, so adding a family here makes its absence a build failure.
+func RequiredFamilies() []string {
+	return []string{
+		"qint_queries_total",
+		"qint_query_stage_seconds_total",
+		"qint_exec_branches_total",
+		"qint_cache_hits_total",
+		"qint_cache_misses_total",
+		"qint_plan_branches_planned_total",
+		"qint_serving_served_queries_total",
+		"qint_serving_inflight_queries",
+		"qint_epoch",
+		"qint_uptime_seconds",
+		"qint_build_info",
+	}
+}
+
+// ScrapeMetrics fetches and parses baseURL's /metrics endpoint. It fails
+// on a non-200 status, a wrong method of exposition (parse error), or a
+// transport error — exactly the conditions a Prometheus server would
+// treat as a failed scrape.
+func ScrapeMetrics(client *http.Client, baseURL string) (*obs.Exposition, error) {
+	resp, err := client.Get(strings.TrimRight(baseURL, "/") + "/metrics")
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: scraping /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: /metrics returned status %d", resp.StatusCode)
+	}
+	exp, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: /metrics is not valid exposition: %w", err)
+	}
+	return exp, nil
+}
+
+// AttachMetrics folds a post-run /metrics scrape into the report: scrape
+// shape (family/sample counts), which required families were absent, and
+// the per-family totals for the required set so BENCH_qload.json carries
+// the server-side view of the run next to the client-side latencies.
+func (r *Report) AttachMetrics(exp *obs.Exposition, required []string) {
+	r.MetricsScraped = true
+	r.MetricFamilies = len(exp.Types)
+	r.MetricSamples = len(exp.Samples)
+	r.MissingMetricFamilies = exp.MissingFamilies(required)
+	r.MetricTotals = make(map[string]float64, len(required))
+	for _, name := range required {
+		if v, ok := familyTotal(exp, name); ok {
+			r.MetricTotals[name] = v
+		}
+	}
+}
+
+// familyTotal sums every sample of a family across its label sets; for
+// summary families the _count sample is the meaningful total (summing
+// quantile estimates would be nonsense).
+func familyTotal(exp *obs.Exposition, name string) (float64, bool) {
+	if exp.Types[name] == "summary" {
+		v, ok := exp.Samples[name+"_count"]
+		return v, ok
+	}
+	total, found := 0.0, false
+	for series, v := range exp.Samples {
+		base := series
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			base = base[:i]
+		}
+		if base == name {
+			total += v
+			found = true
+		}
+	}
+	return total, found
+}
+
+// metricsTable renders the scrape section of the human summary.
+func (r *Report) metricsTable(sb *strings.Builder) {
+	if !r.MetricsScraped {
+		return
+	}
+	fmt.Fprintf(sb, "metrics: %d families, %d samples", r.MetricFamilies, r.MetricSamples)
+	if len(r.MissingMetricFamilies) > 0 {
+		fmt.Fprintf(sb, "  MISSING: %s", strings.Join(r.MissingMetricFamilies, ", "))
+	}
+	fmt.Fprintln(sb)
+	names := make([]string, 0, len(r.MetricTotals))
+	for n := range r.MetricTotals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(sb, "  %-42s %14.6g\n", n, r.MetricTotals[n])
+	}
+}

@@ -1,0 +1,74 @@
+package loadgen
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"qint/internal/obs"
+)
+
+// TestScrapeMetrics runs the scraper against a real registry served over
+// HTTP and checks the report fold-in: shape counts, missing-family
+// detection, and per-family totals (labelled series summed, summaries
+// reported by count).
+func TestScrapeMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("qint_queries_total", "q").Add(11)
+	reg.Counter("qint_cache_hits_total", "h", obs.Label{Name: "cache", Value: "expansion"}).Add(2)
+	reg.Counter("qint_cache_hits_total", "h", obs.Label{Name: "cache", Value: "materialization"}).Add(3)
+	reg.Histogram("qint_query_duration_seconds", "d").Record(1)
+
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		reg.WritePrometheus(w)
+	}))
+	defer srv.Close()
+
+	exp, err := ScrapeMetrics(srv.Client(), srv.URL+"/")
+	if err != nil {
+		t.Fatalf("ScrapeMetrics: %v", err)
+	}
+	var rep Report
+	rep.AttachMetrics(exp, []string{
+		"qint_queries_total", "qint_cache_hits_total",
+		"qint_query_duration_seconds", "qint_epoch",
+	})
+	if !rep.MetricsScraped || rep.MetricFamilies != 3 {
+		t.Errorf("scraped=%v families=%d, want true/3", rep.MetricsScraped, rep.MetricFamilies)
+	}
+	if len(rep.MissingMetricFamilies) != 1 || rep.MissingMetricFamilies[0] != "qint_epoch" {
+		t.Errorf("missing = %v, want [qint_epoch]", rep.MissingMetricFamilies)
+	}
+	if got := rep.MetricTotals["qint_queries_total"]; got != 11 {
+		t.Errorf("queries total = %v, want 11", got)
+	}
+	if got := rep.MetricTotals["qint_cache_hits_total"]; got != 5 {
+		t.Errorf("cache hits total = %v, want 5 (summed across labels)", got)
+	}
+	if got := rep.MetricTotals["qint_query_duration_seconds"]; got != 1 {
+		t.Errorf("duration total = %v, want 1 (summary count)", got)
+	}
+	if tbl := rep.Table(); !strings.Contains(tbl, "MISSING: qint_epoch") {
+		t.Errorf("table does not flag the missing family:\n%s", tbl)
+	}
+}
+
+// TestScrapeMetricsRejects checks the failure modes the CI gate relies
+// on: non-200 statuses and non-exposition bodies are scrape errors.
+func TestScrapeMetricsRejects(t *testing.T) {
+	for name, h := range map[string]http.HandlerFunc{
+		"status": func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusServiceUnavailable) },
+		"body":   func(w http.ResponseWriter, r *http.Request) { w.Write([]byte("<html>not metrics</html>")) },
+	} {
+		srv := httptest.NewServer(h)
+		if _, err := ScrapeMetrics(srv.Client(), srv.URL); err == nil {
+			t.Errorf("%s: ScrapeMetrics accepted a broken endpoint", name)
+		}
+		srv.Close()
+	}
+}

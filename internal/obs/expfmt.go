@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Exposition is a parsed Prometheus text-format scrape: the family types
+// declared by # TYPE lines and every sample keyed by its full series name
+// (metric name plus rendered label set, exactly as exposed). The parser
+// accepts the 0.0.4 text format subset the registry emits — which is also
+// what real Prometheus servers scrape — and rejects malformed lines, so
+// qload and the CI smoke can gate on "the endpoint serves valid
+// exposition" rather than just "the endpoint returned 200".
+type Exposition struct {
+	// Types maps family name to declared type (counter, gauge, summary...).
+	Types map[string]string
+	// Samples maps the full series key (name{labels}) to its value.
+	Samples map[string]float64
+}
+
+// Value returns the sample for an exact series key (name with rendered
+// labels, e.g. `qint_cache_hits_total{cache="materialization"}`).
+func (e *Exposition) Value(series string) (float64, bool) {
+	v, ok := e.Samples[series]
+	return v, ok
+}
+
+// HasFamily reports whether any sample of the named family was scraped
+// (the name alone, ignoring labels and the _sum/_count suffixes of
+// summaries).
+func (e *Exposition) HasFamily(name string) bool {
+	if _, ok := e.Types[name]; ok {
+		return true
+	}
+	for series := range e.Samples {
+		base := series
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			base = base[:i]
+		}
+		if base == name || base == name+"_sum" || base == name+"_count" {
+			return true
+		}
+	}
+	return false
+}
+
+// MissingFamilies returns the subset of names not present in the scrape,
+// in input order.
+func (e *Exposition) MissingFamilies(names []string) []string {
+	var missing []string
+	for _, n := range names {
+		if !e.HasFamily(n) {
+			missing = append(missing, n)
+		}
+	}
+	return missing
+}
+
+// ParseExposition parses Prometheus text exposition format 0.0.4. It
+// validates metric-name syntax, label quoting, and numeric values
+// (including NaN/+Inf/-Inf), and returns an error naming the first
+// malformed line.
+func ParseExposition(r io.Reader) (*Exposition, error) {
+	exp := &Exposition{
+		Types:   make(map[string]string),
+		Samples: make(map[string]float64),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, exp); err != nil {
+				return nil, fmt.Errorf("obs: exposition line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := parseSample(line, exp); err != nil {
+			return nil, fmt.Errorf("obs: exposition line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading exposition: %w", err)
+	}
+	return exp, nil
+}
+
+// parseComment handles # TYPE declarations; # HELP and free comments pass.
+func parseComment(line string, exp *Exposition) error {
+	fields := strings.Fields(line)
+	if len(fields) >= 2 && fields[1] == "TYPE" {
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], fields[3]
+		if !validMetricName(name) {
+			return fmt.Errorf("invalid metric name %q in TYPE line", name)
+		}
+		switch typ {
+		case "counter", "gauge", "summary", "histogram", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q for %s", typ, name)
+		}
+		exp.Types[name] = typ
+	}
+	return nil
+}
+
+// parseSample handles one `name{labels} value [timestamp]` line.
+func parseSample(line string, exp *Exposition) error {
+	name, rest, err := splitSeries(line)
+	if err != nil {
+		return err
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("malformed sample %q", line)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return fmt.Errorf("sample %q: %w", line, err)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return fmt.Errorf("sample %q: bad timestamp: %w", line, err)
+		}
+	}
+	exp.Samples[name] = v
+	return nil
+}
+
+// splitSeries splits a sample line into the series key (name + optional
+// label braces) and the remainder, honouring quotes and escapes inside
+// label values.
+func splitSeries(line string) (series, rest string, err error) {
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' && line[i] != '\t' {
+		i++
+	}
+	name := line[:i]
+	if !validMetricName(name) {
+		return "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	if i >= len(line) {
+		return "", "", fmt.Errorf("sample %q has no value", line)
+	}
+	if line[i] != '{' {
+		return name, line[i:], nil
+	}
+	// Scan the label block, tracking quoted strings and escapes.
+	inQuote, escaped := false, false
+	for j := i + 1; j < len(line); j++ {
+		c := line[j]
+		switch {
+		case escaped:
+			escaped = false
+		case c == '\\' && inQuote:
+			escaped = true
+		case c == '"':
+			inQuote = !inQuote
+		case c == '}' && !inQuote:
+			return line[:j+1], line[j+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label block in %q", line)
+}
+
+// parseValue parses a sample value; ParseFloat covers the format's
+// NaN/+Inf/-Inf spellings as well as plain and scientific notation.
+func parseValue(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", s)
+	}
+	return v, nil
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketLayoutContiguous pins the log-linear index scheme: every value
+// maps into a valid bucket, indexes are monotone in the value, and the
+// upper edge of a value's bucket is never below the value and never more
+// than 1/64 above it (the histogram's advertised relative error).
+func TestBucketLayoutContiguous(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{1, 2, 63, 64, 127, 128, 129, 255, 256, 1000,
+		1 << 20, 1<<20 + 1, 1 << 40, 1<<62 - 1, 1 << 62} {
+		i := bucketIndex(v)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("value %d: bucket %d out of range", v, i)
+		}
+		if i < prev {
+			t.Fatalf("value %d: bucket %d below previous %d (not monotone)", v, i, prev)
+		}
+		prev = i
+		upper := bucketUpperEdge(i)
+		if upper < v {
+			t.Errorf("value %d: upper edge %d below value", v, upper)
+		}
+		if float64(upper) > float64(v)*(1+1.0/64)+1 {
+			t.Errorf("value %d: upper edge %d exceeds 1/64 relative error", v, upper)
+		}
+	}
+
+	// Exhaustive contiguity over the first few exponents: consecutive
+	// values never skip backwards and every bucket's upper edge bounds
+	// its members.
+	last := 0
+	for v := int64(1); v < 1<<14; v++ {
+		i := bucketIndex(v)
+		if i < last {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", v, i, last)
+		}
+		last = i
+		if e := bucketUpperEdge(i); e < v {
+			t.Fatalf("upper edge %d < member %d (bucket %d)", e, v, i)
+		}
+	}
+}
+
+// TestHistogramQuantiles drives the histogram with a known distribution
+// and checks every reported quantile against the exact sorted answer
+// within the 1/64 relative-error bound, with Max exact.
+func TestHistogramQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Histogram
+	n := 20000
+	vals := make([]int64, n)
+	for i := range vals {
+		// Mixed magnitudes: microseconds to seconds.
+		v := int64(rng.ExpFloat64() * float64(time.Duration(1+rng.Intn(500))*time.Millisecond))
+		if v < 1 {
+			v = 1
+		}
+		vals[i] = v
+		h.Record(time.Duration(v))
+	}
+	sorted := append([]int64(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	if h.Count() != int64(n) {
+		t.Fatalf("Count = %d, want %d", h.Count(), n)
+	}
+	if got, want := int64(h.Max()), sorted[n-1]; got != want {
+		t.Errorf("Max = %d, want exact %d", got, want)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1.0} {
+		idx := int(q*float64(n)+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= n {
+			idx = n - 1
+		}
+		exact := sorted[idx]
+		got := int64(h.Quantile(q))
+		if got < exact {
+			t.Errorf("Quantile(%g) = %d understates exact %d", q, got, exact)
+		}
+		if float64(got) > float64(exact)*(1+1.0/64)+1 {
+			t.Errorf("Quantile(%g) = %d exceeds error bound over exact %d", q, got, exact)
+		}
+	}
+}
+
+// TestHistogramConcurrentRecord hammers Record from many goroutines (the
+// production access pattern) — run under -race in CI — and checks the
+// total survives.
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("Count = %d, want %d", h.Count(), workers*per)
+	}
+	if h.Max() != time.Duration((workers-1)*1000+per-1) {
+		t.Fatalf("Max = %v", h.Max())
+	}
+}
+
+// TestHistogramNilSafe pins the nil-receiver contract the optional
+// instrumentation wiring depends on.
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Record(time.Second) // must not panic
+	if h.Count() != 0 || h.Max() != 0 || h.Mean() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram reported non-zero values")
+	}
+}

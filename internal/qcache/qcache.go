@@ -21,6 +21,8 @@ package qcache
 import (
 	"sync"
 	"sync/atomic"
+
+	"qint/internal/obs"
 )
 
 // Key identifies one cache entry: the published-state epoch the value was
@@ -56,9 +58,12 @@ type Cache[V any] struct {
 	shards []*cshard[V]
 	live   atomic.Uint64 // current published epoch (eviction preference)
 
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	evictions atomic.Uint64
+	// Activity counters. New allocates private ones; Instrument swaps in
+	// registry-owned counters so the cache's activity is a first-class
+	// metric family and Counters() becomes a view over the registry.
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
 }
 
 // evictScan bounds how far from the LRU tail Put searches for a dead-epoch
@@ -94,12 +99,38 @@ func New[V any](capacity int) *Cache[V] {
 	if capacity < n {
 		n = capacity
 	}
-	c := &Cache[V]{shards: make([]*cshard[V], n)}
+	c := &Cache[V]{
+		shards:    make([]*cshard[V], n),
+		hits:      &obs.Counter{},
+		misses:    &obs.Counter{},
+		evictions: &obs.Counter{},
+	}
 	per := (capacity + n - 1) / n
 	for i := range c.shards {
 		c.shards[i] = &cshard[V]{cap: per, entries: make(map[Key]*entry[V], per)}
 	}
 	return c
+}
+
+// Instrument replaces the cache's activity counters with registry-owned
+// ones (typically obtained from an obs.Registry), so hits, misses and
+// evictions surface as metric families without a second accounting.
+// Writer-side setup: call it before the cache is shared with concurrent
+// users — the counters are swapped, not merged, and prior counts stay in
+// the old ones. Nil arguments and a nil cache are no-ops.
+func (c *Cache[V]) Instrument(hits, misses, evictions *obs.Counter) {
+	if c == nil {
+		return
+	}
+	if hits != nil {
+		c.hits = hits
+	}
+	if misses != nil {
+		c.misses = misses
+	}
+	if evictions != nil {
+		c.evictions = evictions
+	}
 }
 
 // SetLiveEpoch announces the currently published generation; eviction
@@ -140,13 +171,13 @@ func (c *Cache[V]) Get(k Key) (V, bool) {
 	e, ok := s.entries[k]
 	if !ok {
 		s.mu.Unlock()
-		c.misses.Add(1)
+		c.misses.Inc()
 		return zero, false
 	}
 	s.moveToFront(e)
 	v := e.val
 	s.mu.Unlock()
-	c.hits.Add(1)
+	c.hits.Inc()
 	return v, true
 }
 
@@ -165,7 +196,7 @@ func (c *Cache[V]) Put(k Key, v V) {
 		s.mu.Unlock()
 		return
 	}
-	evicted := uint64(0)
+	evicted := int64(0)
 	for len(s.entries) >= s.cap {
 		s.remove(s.victim(live))
 		evicted++
@@ -271,9 +302,9 @@ func (c *Cache[V]) Counters() Counters {
 		s.mu.Unlock()
 	}
 	return Counters{
-		Hits:       c.hits.Load(),
-		Misses:     c.misses.Load(),
-		Evictions:  c.evictions.Load(),
+		Hits:       uint64(c.hits.Load()),
+		Misses:     uint64(c.misses.Load()),
+		Evictions:  uint64(c.evictions.Load()),
 		Entries:    n,
 		LiveEpochs: len(epochs),
 	}

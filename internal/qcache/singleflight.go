@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"qint/internal/obs"
 )
 
 // Group collapses concurrent identical computations: when N goroutines Do
@@ -20,6 +22,12 @@ type Group[V any] struct {
 	execs     atomic.Uint64
 	coalesced atomic.Uint64
 	waiting   atomic.Int64
+
+	// Optional registry mirrors (Instrument): incremented alongside the
+	// atomics so the zero Group stays ready to use while an instrumented
+	// one surfaces its activity as metric families.
+	execsC     *obs.Counter
+	coalescedC *obs.Counter
 }
 
 type call[V any] struct {
@@ -41,6 +49,7 @@ func (g *Group[V]) Do(k Key, fn func() (V, error)) (V, error) {
 	if c, ok := g.calls[k]; ok {
 		g.mu.Unlock()
 		g.coalesced.Add(1)
+		g.coalescedC.Inc()
 		g.waiting.Add(1)
 		<-c.done
 		g.waiting.Add(-1)
@@ -51,6 +60,7 @@ func (g *Group[V]) Do(k Key, fn func() (V, error)) (V, error) {
 	g.mu.Unlock()
 
 	g.execs.Add(1)
+	g.execsC.Inc()
 	// Unregister and release waiters even if fn panics — a stuck call entry
 	// would otherwise block every later Do of the same key forever. A panic
 	// propagates in the leader (its server/recover layer attributes it); the
@@ -72,6 +82,15 @@ func (g *Group[V]) Do(k Key, fn func() (V, error)) (V, error) {
 	c.val, c.err = fn()
 	normal = true
 	return c.val, c.err
+}
+
+// Instrument attaches registry-owned mirror counters for executions and
+// coalesced waits. Writer-side setup: call it before the group sees
+// concurrent Do calls. Nil arguments clear nothing (obs counters are
+// nil-safe, so an un-instrumented group pays one nil check per event).
+func (g *Group[V]) Instrument(execs, coalesced *obs.Counter) {
+	g.execsC = execs
+	g.coalescedC = coalesced
 }
 
 // Execs returns how many times Do actually executed a function (as opposed

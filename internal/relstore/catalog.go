@@ -90,6 +90,12 @@ type Catalog struct {
 	// planner ON. Writer-side: set it before the catalog is shared with
 	// concurrent readers; Clone copies it.
 	noPlan bool
+
+	// execObs, when attached (InstrumentExec), counts completed branch
+	// executions and their produced rows across every execution path.
+	// Writer-side: set before sharing; Clone copies the pointer so all
+	// generations of one engine report into the same counters.
+	execObs *ExecCounters
 }
 
 // valueCache holds one shard's lazily built per-attribute distinct-value
@@ -129,6 +135,7 @@ func (c *Catalog) Clone() *Catalog {
 		scanFind: c.scanFind,
 		matExec:  c.matExec,
 		noPlan:   c.noPlan,
+		execObs:  c.execObs,
 	}
 }
 

@@ -22,10 +22,17 @@ type ResultSet struct {
 // reference implementation below. Both paths — and every shard count —
 // return byte-identical ResultSets (stream_test.go pins this).
 func Execute(c *Catalog, q *ConjunctiveQuery) (*ResultSet, error) {
+	var rs *ResultSet
+	var err error
 	if c.matExec {
-		return ExecuteMaterialised(c, q)
+		rs, err = ExecuteMaterialised(c, q)
+	} else {
+		rs, err = ExecuteStream(c, q)
 	}
-	return ExecuteStream(c, q)
+	if err == nil {
+		c.countExec(len(rs.Rows))
+	}
+	return rs, err
 }
 
 // ExecuteMaterialised evaluates a conjunctive query by materialising every

@@ -77,6 +77,7 @@ type subplanEntry struct {
 // concurrent use across different (or equal) indexes — core's branch workers
 // call them in parallel.
 type BatchPlan struct {
+	cat    *Catalog
 	plans  []*queryPlan
 	prefix []*subplanEntry // per query; nil = no shared prefix
 
@@ -95,6 +96,7 @@ type BatchPlan struct {
 // silently succeeding.
 func PlanBatch(c *Catalog, queries []*ConjunctiveQuery) (*BatchPlan, error) {
 	bp := &BatchPlan{
+		cat:    c,
 		plans:  make([]*queryPlan, len(queries)),
 		prefix: make([]*subplanEntry, len(queries)),
 	}
@@ -204,7 +206,9 @@ func (bp *BatchPlan) Execute(i int) (*ResultSet, error) {
 	if err != nil {
 		return nil, err
 	}
-	return st.Drain(), nil
+	rs := st.Drain()
+	bp.cat.countExec(len(rs.Rows))
+	return rs, nil
 }
 
 // Stats snapshots the batch's planning counters.

@@ -724,5 +724,9 @@ func ExecuteTopKUnion(c *Catalog, queries []*ConjunctiveQuery, k int, provenance
 	if bp != nil {
 		stats.Plan = bp.Stats()
 	}
+	if ec := c.execObs; ec != nil {
+		ec.Branches.Add(int64(stats.BranchesExecuted))
+		ec.Rows.Add(stats.RowsPulled)
+	}
 	return out, stats, nil
 }

@@ -86,12 +86,15 @@ import (
 	"log"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"qint/internal/core"
+	"qint/internal/obs"
 	"qint/internal/relstore"
 )
 
@@ -122,6 +125,11 @@ type Config struct {
 	// MaxBodyBytes caps POST request bodies (413 beyond it).
 	// Default 8 MiB.
 	MaxBodyBytes int64
+	// SlowQueryThreshold, when positive, makes the server log every query
+	// whose wall time reaches it — one entry with the query text, the
+	// X-Q-Trace id and the full stage breakdown — and count it in
+	// qint_slow_queries_total. Zero disables the slow-query log.
+	SlowQueryThreshold time.Duration
 }
 
 // withDefaults resolves zero fields to their documented defaults.
@@ -151,12 +159,16 @@ type viewEntry struct {
 }
 
 // servingCounters are the admission-control observables served on /stats.
+// They are registry-owned (resolved from the engine's obs.Registry in
+// NewWith), so the same numbers appear as qint_serving_* families on
+// /metrics; registration is idempotent, so a second Server over the same Q
+// continues the totals rather than forking them.
 type servingCounters struct {
-	servedQueries    atomic.Int64 // queries admitted and executed
-	ephemeralQueries atomic.Int64 // subset of served that skipped the registry
-	shedQueries      atomic.Int64 // 429s from the in-flight limit or view cap
-	shedWrites       atomic.Int64 // 503s from the write queue
-	viewsDeleted     atomic.Int64 // DELETE /views/{id} successes
+	servedQueries    *obs.Counter // queries admitted and executed
+	ephemeralQueries *obs.Counter // subset of served that skipped the registry
+	shedQueries      *obs.Counter // 429s from the in-flight limit or view cap
+	shedWrites       *obs.Counter // 503s from the write queue
+	viewsDeleted     *obs.Counter // DELETE /views/{id} successes
 }
 
 // Server wraps a Q instance and implements http.Handler. Its mutex guards
@@ -176,6 +188,8 @@ type Server struct {
 	queryTokens chan struct{} // in-flight query admissions
 	writeTokens chan struct{} // queued-or-running write admissions
 	counters    servingCounters
+	slowQueries *obs.Counter
+	started     time.Time
 
 	// queryBarrier, when non-nil, is invoked while an admitted query holds
 	// its token and before engine work starts. Tests use it to park
@@ -200,7 +214,9 @@ func NewWith(q *core.Q, cfg Config) *Server {
 		cfg:         cfg,
 		queryTokens: make(chan struct{}, cfg.MaxInFlightQueries),
 		writeTokens: make(chan struct{}, cfg.WriteQueueDepth),
+		started:     time.Now(),
 	}
+	s.instrument()
 	for _, v := range q.Views() {
 		id := fmt.Sprintf("v%d", s.nextID.Add(1)-1)
 		s.views = append(s.views, viewEntry{id: id, view: v})
@@ -213,8 +229,81 @@ func NewWith(q *core.Q, cfg Config) *Server {
 	mux.HandleFunc("/views/", s.handleViewByID)
 	mux.HandleFunc("/associations", s.handleAssociations)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux = mux
 	return s
+}
+
+// instrument resolves the serving counters from the engine's registry and
+// registers the server-level gauges. Counter resolution is idempotent
+// (same name → same counter) and gauge callbacks use replacement semantics
+// (the latest Server's closure wins), so building a second Server over one
+// Q — common in tests and restarts — never double-registers.
+func (s *Server) instrument() {
+	reg := s.q.Metrics()
+	s.counters = servingCounters{
+		servedQueries:    reg.Counter("qint_serving_served_queries_total", "Queries admitted and executed."),
+		ephemeralQueries: reg.Counter("qint_serving_ephemeral_queries_total", "Served queries that skipped the view registry."),
+		shedQueries:      reg.Counter("qint_serving_shed_queries_total", "Queries shed with 429 (in-flight limit or view cap)."),
+		shedWrites:       reg.Counter("qint_serving_shed_writes_total", "Writes shed with 503 (admission queue full)."),
+		viewsDeleted:     reg.Counter("qint_serving_views_deleted_total", "Successful DELETE /views/{id} requests."),
+	}
+	s.slowQueries = reg.Counter("qint_slow_queries_total", "Queries whose wall time reached the slow-query threshold.")
+	reg.GaugeFunc("qint_serving_inflight_queries", "Queries currently holding an admission token.", func() float64 {
+		return float64(len(s.queryTokens))
+	})
+	reg.GaugeFunc("qint_serving_queued_writes", "Writes currently queued or running.", func() float64 {
+		return float64(len(s.writeTokens))
+	})
+	reg.GaugeFunc("qint_uptime_seconds", "Seconds since this server was constructed.", func() float64 {
+		return time.Since(s.started).Seconds()
+	})
+	b := buildInfo()
+	reg.GaugeFunc("qint_build_info", "Build information; the value is always 1.", func() float64 { return 1 },
+		obs.Label{Name: "go_version", Value: b.GoVersion},
+		obs.Label{Name: "module", Value: b.Module},
+		obs.Label{Name: "revision", Value: b.Revision})
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format
+// 0.0.4 — engine and serving families together, since both register into
+// the engine's registry.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.q.Metrics().WritePrometheus(w); err != nil {
+		logf("server: writing /metrics: %v", err)
+	}
+}
+
+// BuildInfo identifies the running binary on /stats and as the
+// qint_build_info labels.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Module    string `json:"module"`
+	Revision  string `json:"revision"`
+}
+
+// buildInfo reads the binary's embedded build metadata. Fields the build
+// did not stamp (e.g. no VCS info under `go test`) come back "unknown".
+func buildInfo() BuildInfo {
+	b := BuildInfo{GoVersion: runtime.Version(), Module: "unknown", Revision: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	if bi.Main.Path != "" {
+		b.Module = bi.Main.Path
+	}
+	for _, kv := range bi.Settings {
+		if kv.Key == "vcs.revision" {
+			b.Revision = kv.Value
+		}
+	}
+	return b
 }
 
 // admitWrite takes one write-queue slot without blocking. The returned
@@ -440,7 +529,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// Answers only: the view is never registered — in the engine or
 		// in the server's id registry — so ephemeral traffic cannot grow
 		// either without bound.
-		v, err := s.q.QueryEphemeralWith(req.Q, parallel)
+		v, tr, err := s.q.QueryEphemeralTraced(req.Q, parallel)
+		s.observeQuery(w, req.Q, tr)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "%v", err)
 			return
@@ -452,7 +542,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, answersOfMat("", v, m))
 		return
 	}
-	v, err := s.q.QueryWith(req.Q, parallel)
+	v, tr, err := s.q.QueryTraced(req.Q, parallel)
+	s.observeQuery(w, req.Q, tr)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -473,6 +564,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	m := v.Current()
 	setEpochHeader(w, m)
 	writeJSON(w, http.StatusCreated, answersOfMat(id, v, m))
+}
+
+// observeQuery stamps the response with the query's trace id (X-Q-Trace —
+// the handle a client quotes when reporting a slow request) and feeds the
+// slow-query log: wall time at or over the threshold logs the full stage
+// breakdown and bumps qint_slow_queries_total.
+func (s *Server) observeQuery(w http.ResponseWriter, query string, tr *obs.Trace) {
+	if tr == nil {
+		return
+	}
+	w.Header().Set("X-Q-Trace", tr.ID())
+	if th := s.cfg.SlowQueryThreshold; th > 0 && tr.Wall() >= th {
+		s.slowQueries.Inc()
+		logf("server: slow query %q (wall %v >= threshold %v)\n%s", query, tr.Wall(), th, tr.String())
+	}
 }
 
 // viewCount reads the registry size.
@@ -692,6 +798,9 @@ type StatsResponse struct {
 	Edges      map[string]int  `json:"edges"`
 	Views      int             `json:"views"`
 	Epoch      uint64          `json:"epoch"`
+	EpochAge   float64         `json:"epoch_age_seconds"`
+	Uptime     float64         `json:"uptime_seconds"`
+	Build      BuildInfo       `json:"build"`
 	Cache      core.CacheStats `json:"cache"`
 	Plan       core.PlanStats  `json:"plan"`
 	Serving    ServingStats    `json:"serving"`
@@ -756,9 +865,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Edges:   make(map[string]int, len(sum.ByEdgeKind)),
 		Views:   nViews,
 		Epoch:   s.q.Epoch(),
+		Uptime:  time.Since(s.started).Seconds(),
+		Build:   buildInfo(),
 		Cache:   s.q.CacheStats(),
 		Plan:    s.q.PlanStats(),
 		Serving: s.ServingStats(),
+	}
+	if at := s.q.EpochTime(); !at.IsZero() {
+		resp.EpochAge = time.Since(at).Seconds()
 	}
 	for k, n := range sum.ByEdgeKind {
 		resp.Edges[k.String()] = n
